@@ -1,0 +1,27 @@
+# Convenience targets for the skimmed-sketches reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.eval figure5a figure5b census example1 \
+		space-scaling dyadic-cost threshold-ablation baseline-panel
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script =="; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,30 @@
+"""Shared plumbing for the benchmark suite.
+
+Every ``bench_*.py`` file regenerates one evaluation artifact of the paper
+(see the experiment index in DESIGN.md).  Results are rendered as plain
+text tables — the rows a plot of the paper's figure would be drawn from —
+and (a) printed, so ``pytest benchmarks/ --benchmark-only -s`` shows them
+live, and (b) written under ``benchmarks/results/``, so the numbers
+survive pytest's output capture and feed EXPERIMENTS.md.
+
+Heavyweight experiments run once inside ``benchmark.pedantic(...,
+rounds=1)``: the interesting output is the accuracy table, and the
+benchmark fixture's wall-clock reading doubles as a record of experiment
+cost.  Micro-benchmarks (per-element update cost) use the fixture
+conventionally with many rounds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print an experiment's rendered table and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return text

@@ -1,0 +1,42 @@
+"""E10 — ablation: the skim-threshold multiplier ``c`` in
+``theta = c * N / sqrt(width)``.
+
+DESIGN.md calls out the threshold constant as the one free knob of the
+algorithm.  Tiny ``c`` extracts sketch noise as "dense" (inflating the
+exactly-computed dense-dense term with estimation error); huge ``c``
+degenerates to unskimmed Fast-AGMS.  Expected shape: a wide flat optimum
+around the theory's ``c ~ 1``, degrading on both extremes, with the dense
+set size shrinking monotonically in ``c``.
+"""
+
+from __future__ import annotations
+
+from repro.eval.figures import default_scale, render_rows, run_threshold_ablation
+
+from _common import emit
+
+MULTIPLIERS = (0.1, 0.3, 1.0, 3.0, 10.0, 1e6)
+
+
+def test_threshold_ablation(benchmark):
+    scale = default_scale()
+    rows = benchmark.pedantic(
+        run_threshold_ablation,
+        args=(MULTIPLIERS, 1.2, 50, scale),
+        kwargs={"width": 200, "depth": 11, "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_rows(
+        f"Skim-threshold ablation: theta = c * N / sqrt(width), Zipf z=1.2, "
+        f"shift 50 [{scale.label}]",
+        rows,
+    )
+    emit("ablation_threshold", text)
+
+    by_multiplier = {row["multiplier"]: row for row in rows}
+    # Dense count shrinks monotonically as the threshold rises.
+    counts = [row["mean_dense_count"] for row in rows]
+    assert counts == sorted(counts, reverse=True)
+    # The theory-recommended region beats the unskimmed extreme.
+    assert by_multiplier[1.0]["mean_error"] < by_multiplier[1e6]["mean_error"]

@@ -1,0 +1,34 @@
+"""E3 — Census experiment: wage join wage-overtime, domain 2**16.
+
+The paper's real-life data set (CPS September 2002) is not
+redistributable; per DESIGN.md's substitution table this bench joins the
+synthetic Census-like pair (159,434 records, same domain, same skew
+shape).  Expected result (paper §5.2 / [17]): both methods do noticeably
+better than on the synthetic Zipf torture tests, with skimmed sketches at
+roughly *half* the error of basic AGMS.
+"""
+
+from __future__ import annotations
+
+from repro.eval.figures import run_census
+from repro.eval.reporting import render_series
+
+from _common import emit
+
+
+def test_census(benchmark):
+    result = benchmark.pedantic(run_census, kwargs={"trials": 3}, rounds=1, iterations=1)
+    series = result.series_by_space()
+    text = render_series(
+        "Census (synthetic stand-in): wage vs wage-overtime join, "
+        "domain=2^16, 159,434 records — mean symmetric error",
+        "space (words)",
+        series,
+    )
+    factors = result.improvement_factors("basic_agms", "skimmed")
+    pretty = ", ".join(f"{b:.0f}w: {f:.1f}x" for b, f in factors)
+    emit("census", f"{text}\n\nimprovement (basic/skimmed): {pretty}")
+
+    basic = result.summary_for("basic_agms").mean
+    skimmed = result.summary_for("skimmed").mean
+    assert skimmed < basic

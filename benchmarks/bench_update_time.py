@@ -1,0 +1,87 @@
+"""E5 — per-element update cost: basic AGMS O(s1*s2) vs hash sketch O(s2).
+
+The paper's claim (3): maintaining a hash sketch touches one counter per
+table (logarithmic work), while basic AGMS updates every atomic sketch.
+This bench measures the per-element ``update`` cost of both synopses at
+matched sizes and checks the hash sketch wins by a growing factor as the
+synopsis grows — the absolute numbers are Python-flavoured, the *ratio*
+is the reproduced claim.
+
+These are true micro-benchmarks (many rounds), so the pytest-benchmark
+table itself is the artifact; a summary ratio table is also emitted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.estimator import SkimmedSketchSchema
+from repro.eval.reporting import render_table
+from repro.sketches.agms import AGMSSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+
+from _common import emit
+
+DOMAIN = 1 << 16
+SHAPES = [(50, 11), (250, 59)]
+
+
+def _element_update_cost(sketch, iterations: int = 200) -> float:
+    start = time.perf_counter()
+    for value in range(iterations):
+        sketch.update(value % DOMAIN)
+    return (time.perf_counter() - start) / iterations
+
+
+@pytest.mark.parametrize("width,depth", SHAPES)
+def test_agms_update(benchmark, width, depth):
+    sketch = AGMSSchema(width, depth, DOMAIN, seed=0).create_sketch()
+    benchmark(sketch.update, 12345)
+
+
+@pytest.mark.parametrize("width,depth", SHAPES)
+def test_hash_sketch_update(benchmark, width, depth):
+    sketch = HashSketchSchema(width, depth, DOMAIN, seed=0).create_sketch()
+    benchmark(sketch.update, 12345)
+
+
+def test_skimmed_sketch_update(benchmark):
+    sketch = SkimmedSketchSchema(250, 59, DOMAIN, seed=0).create_sketch()
+    benchmark(sketch.update, 12345)
+
+
+def test_update_cost_ratio(benchmark):
+    """Summary artifact: AGMS/hash per-element cost ratio per shape."""
+
+    def measure():
+        rows = []
+        for width, depth in SHAPES:
+            agms = AGMSSchema(width, depth, DOMAIN, seed=0).create_sketch()
+            hashed = HashSketchSchema(width, depth, DOMAIN, seed=0).create_sketch()
+            agms_cost = _element_update_cost(agms)
+            hash_cost = _element_update_cost(hashed)
+            rows.append(
+                [
+                    f"{width}x{depth}",
+                    width * depth,
+                    agms_cost * 1e6,
+                    hash_cost * 1e6,
+                    agms_cost / hash_cost,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = render_table(
+        ["shape", "counters", "agms us/elem", "hash us/elem", "agms/hash"],
+        rows,
+        title="Per-element update cost (claim C3)",
+    )
+    emit("update_time", text)
+    small, large = rows[0][4], rows[1][4]
+    # The gap must widen with synopsis size: hash-sketch cost is O(depth),
+    # AGMS cost is O(width*depth).
+    assert large > small
+    assert large > 3.0

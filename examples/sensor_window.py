@@ -1,0 +1,81 @@
+"""Sensor network: correlating *recent* readings across two sensor fields.
+
+Run:  python examples/sensor_window.py
+
+The paper's intro lists sensor networks and weather measurements among
+its streaming applications.  Here two sensor fields stream quantised
+readings continuously, and the operator wants the correlation count
+
+    COUNT(field_A join field_B on reading bucket)   over the last W hours
+
+— a *sliding-window* join (related work [12]), which this library gets
+for free from sketch linearity: one sub-sketch per hourly epoch, expired
+exactly when it leaves the window (``repro.streams.windows``).
+
+The simulation moves a weather front through field A: in old epochs the
+two fields agree (readings overlap heavily); in recent epochs field A has
+shifted.  A whole-stream sketch keeps reporting high correlation;
+the windowed sketch sees the change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches import HashSketchSchema
+from repro.streams.windows import WindowedSketchSchema
+
+READING_BUCKETS = 4096       # quantised sensor readings
+READINGS_PER_EPOCH = 20_000
+WINDOW_EPOCHS = 3
+TOTAL_EPOCHS = 10
+FRONT_ARRIVES_AT = 7         # epoch when field A's readings shift
+
+
+def epoch_readings(rng, epoch, field):
+    """Gaussian-ish quantised readings; field A shifts late in the run."""
+    centre = 1000.0
+    if field == "A" and epoch >= FRONT_ARRIVES_AT:
+        centre = 2600.0  # the front: field A now reads much higher
+    readings = rng.normal(centre, 120.0, size=READINGS_PER_EPOCH)
+    return np.clip(np.round(readings), 0, READING_BUCKETS - 1).astype(np.int64)
+
+
+def main() -> None:
+    windowed_schema = WindowedSketchSchema(
+        width=256, depth=7, domain_size=READING_BUCKETS,
+        window_epochs=WINDOW_EPOCHS, seed=5,
+    )
+    window_a = windowed_schema.create_sketch()
+    window_b = windowed_schema.create_sketch()
+
+    whole_schema = HashSketchSchema(256, 7, READING_BUCKETS, seed=5)
+    whole_a = whole_schema.create_sketch()
+    whole_b = whole_schema.create_sketch()
+
+    rng = np.random.default_rng(0)
+    print(f"window = last {WINDOW_EPOCHS} epochs; front arrives at epoch "
+          f"{FRONT_ARRIVES_AT}\n")
+    print("epoch | windowed join estimate | whole-stream join estimate")
+    print("------+------------------------+---------------------------")
+    for epoch in range(TOTAL_EPOCHS):
+        if epoch > 0:
+            window_a.advance_epoch()
+            window_b.advance_epoch()
+        a = epoch_readings(rng, epoch, "A")
+        b = epoch_readings(rng, epoch, "B")
+        window_a.update_bulk(a)
+        window_b.update_bulk(b)
+        whole_a.update_bulk(a)
+        whole_b.update_bulk(b)
+        windowed = window_a.est_join_size(window_b)
+        whole = whole_a.est_join_size(whole_b)
+        print(f"{epoch:5d} | {windowed:22,.0f} | {whole:26,.0f}")
+
+    print("\nOnce the front has filled the window, the windowed estimate "
+          "collapses toward zero (the fields no longer correlate), while "
+          "the whole-stream estimate keeps growing on stale agreement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setuptools entry point (the sandbox lacks the `wheel` package,
+so PEP 660 editable installs are unavailable; metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""The paper's contribution: skimming and the skimmed-sketch join estimator.
+
+* :mod:`repro.core.skim` — ``SKIMDENSE`` (flat and dyadic variants);
+* :mod:`repro.core.skimmed_join` — ``ESTSUBJOINSIZE`` / ``ESTSKIMJOINSIZE``;
+* :mod:`repro.core.estimator` — the public :class:`SkimmedSketch` API;
+* :mod:`repro.core.config` — accuracy/space parameter selection.
+"""
+
+from .config import SketchParameters, depth_for_confidence
+from .estimator import SkimmedSketch, SkimmedSketchSchema
+from .skim import (
+    DEFAULT_THRESHOLD_MULTIPLIER,
+    SkimResult,
+    default_threshold,
+    skim_dense,
+    skim_dense_dyadic,
+)
+from .skimmed_join import (
+    JoinEstimateBreakdown,
+    est_skim_join_size,
+    est_skim_join_size_from_parts,
+    est_sub_join_size,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD_MULTIPLIER",
+    "JoinEstimateBreakdown",
+    "SketchParameters",
+    "SkimResult",
+    "SkimmedSketch",
+    "SkimmedSketchSchema",
+    "default_threshold",
+    "depth_for_confidence",
+    "est_skim_join_size",
+    "est_skim_join_size_from_parts",
+    "est_sub_join_size",
+    "skim_dense",
+    "skim_dense_dyadic",
+]

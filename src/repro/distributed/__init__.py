@@ -1,0 +1,16 @@
+"""Distributed sketch collection: sites sketch locally, a coordinator
+merges exactly (linearity), answering fleet-wide join aggregates with
+communication measured in kilobytes — the paper's §1 network-monitoring
+deployment pattern."""
+
+from .protocol import ProtocolError, RoundSummary, SketchReport
+from .site import SketchSite
+from .coordinator import SketchCoordinator
+
+__all__ = [
+    "ProtocolError",
+    "RoundSummary",
+    "SketchCoordinator",
+    "SketchReport",
+    "SketchSite",
+]

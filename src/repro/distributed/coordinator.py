@@ -1,0 +1,129 @@
+"""Coordinator: merge site reports, answer global join queries.
+
+The coordinator holds, per stream, either the latest cumulative sketch per
+site (``cumulative`` sites) or the running sum of deltas (``delta``
+sites), and answers queries against the merged union sketch.  Because
+sketches are linear, the merged estimate equals what a single centralised
+sketch over all sites' traffic would produce — distribution costs
+*communication only* (a few KB per site per round), which is the point of
+using synopses in the paper's network-monitoring setting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.estimator import SkimmedSketch, SkimmedSketchSchema
+from ..errors import IncompatibleSketchError, QueryError
+from .protocol import ProtocolError, RoundSummary, SketchReport
+
+
+class SketchCoordinator:
+    """Fleet-wide aggregation point for site sketch reports.
+
+    Parameters
+    ----------
+    schema:
+        The fleet schema; incoming report sketches must be compatible
+        (identical hash/sign randomness) or they are rejected.
+    delta_sites:
+        Names of sites reporting deltas (their reports *add*); all other
+        sites are treated as cumulative (their reports *replace*).
+    """
+
+    def __init__(
+        self, schema: SkimmedSketchSchema, delta_sites: set[str] | None = None
+    ):
+        self.schema = schema
+        self.delta_sites = set(delta_sites or ())
+        # stream -> site -> site's current sketch contribution.
+        self._contributions: dict[str, dict[str, SkimmedSketch]] = defaultdict(dict)
+        self._last_round: dict[tuple[str, str], int] = {}
+        self._bytes_received = 0
+        self._reports_merged = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def receive(self, report: SketchReport) -> None:
+        """Absorb one site report (validating schema and round ordering)."""
+        key = (report.site, report.stream)
+        last = self._last_round.get(key, 0)
+        if report.round_number <= last:
+            raise ProtocolError(
+                f"stale report: {key} round {report.round_number} "
+                f"(already at {last})"
+            )
+        sketch = report.open_sketch()
+        if not isinstance(sketch, SkimmedSketch) or not self.schema.is_compatible(
+            sketch.schema
+        ):
+            raise IncompatibleSketchError(
+                f"report from {report.site!r} carries a sketch incompatible "
+                "with the fleet schema"
+            )
+        per_site = self._contributions[report.stream]
+        if report.site in self.delta_sites and report.site in per_site:
+            per_site[report.site] = per_site[report.site].merged_with(sketch)
+        else:
+            per_site[report.site] = sketch
+        self._last_round[key] = report.round_number
+        self._bytes_received += report.size_in_bytes()
+        self._reports_merged += 1
+
+    def receive_all(self, reports: list[SketchReport]) -> RoundSummary:
+        """Absorb a batch of reports and summarise the round."""
+        for report in reports:
+            self.receive(report)
+        round_number = max((r.round_number for r in reports), default=0)
+        return RoundSummary(
+            round_number=round_number,
+            streams=tuple(sorted({r.stream for r in reports})),
+            sites_reporting=tuple(sorted({r.site for r in reports})),
+            bytes_received=sum(r.size_in_bytes() for r in reports),
+            reports_merged=len(reports),
+        )
+
+    # -- global state ----------------------------------------------------------
+
+    def streams(self) -> list[str]:
+        """Streams with at least one contribution."""
+        return sorted(self._contributions)
+
+    def sites_for(self, stream: str) -> list[str]:
+        """Sites that have contributed to ``stream``."""
+        return sorted(self._contributions.get(stream, {}))
+
+    def global_sketch(self, stream: str) -> SkimmedSketch:
+        """The union sketch of a stream across all reporting sites."""
+        per_site = self._contributions.get(stream)
+        if not per_site:
+            raise QueryError(f"no reports received for stream {stream!r}")
+        sketches = list(per_site.values())
+        merged = sketches[0]
+        for sketch in sketches[1:]:
+            merged = merged.merged_with(sketch)
+        return merged
+
+    # -- queries ------------------------------------------------------------------
+
+    def est_join_size(self, left: str, right: str) -> float:
+        """Global ``COUNT(left join right)`` across all sites' traffic."""
+        return self.global_sketch(left).est_join_size(self.global_sketch(right))
+
+    def est_self_join_size(self, stream: str) -> float:
+        """Global second moment of a stream across all sites."""
+        return self.global_sketch(stream).est_self_join_size()
+
+    def point_estimate(self, stream: str, value: int) -> float:
+        """Global frequency estimate of one value across all sites."""
+        return self.global_sketch(stream).point_estimate(value)
+
+    def communication_stats(self) -> tuple[int, int]:
+        """``(reports merged, total bytes received)`` since start."""
+        return self._reports_merged, self._bytes_received
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchCoordinator(streams={self.streams()}, "
+            f"reports={self._reports_merged})"
+        )

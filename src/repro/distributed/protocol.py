@@ -1,0 +1,74 @@
+"""Message types for distributed sketch collection.
+
+The paper's motivating deployment (§1) is a large ISP where "detailed
+usage information from different parts of the network needs to be
+continuously collected and analyzed".  Linearity makes the distributed
+version of every estimator exact: each site sketches its local substream,
+ships the (tiny) sketch, and the coordinator's merge *is* the sketch of
+the union stream — no approximation is introduced by distribution itself.
+
+Messages are plain dataclasses wrapping the serialised sketch state from
+:mod:`repro.sketches.serialize`, so they can cross any transport that
+moves bytes (the tests and example use in-memory delivery).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..sketches.serialize import load_sketch, save_sketch
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-order distributed-protocol message."""
+
+
+@dataclass(frozen=True)
+class SketchReport:
+    """One site's synopsis for one stream at one reporting round.
+
+    ``payload`` is the ``.npz`` archive produced by
+    :func:`repro.sketches.serialize.save_sketch`; ``round_number`` lets the
+    coordinator reject stale or duplicated reports.
+    """
+
+    site: str
+    stream: str
+    round_number: int
+    payload: bytes
+
+    @classmethod
+    def from_sketch(
+        cls, site: str, stream: str, round_number: int, sketch
+    ) -> "SketchReport":
+        """Package a live sketch into a transportable report."""
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        return cls(
+            site=site,
+            stream=stream,
+            round_number=round_number,
+            payload=buffer.getvalue(),
+        )
+
+    def open_sketch(self):
+        """Rebuild the carried sketch (schema included)."""
+        return load_sketch(io.BytesIO(self.payload))
+
+    def size_in_bytes(self) -> int:
+        """Wire size of the report — the communication cost a synopsis
+        exists to minimise."""
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Coordinator-side accounting for one completed merge round."""
+
+    round_number: int
+    streams: tuple[str, ...]
+    sites_reporting: tuple[str, ...]
+    bytes_received: int
+    reports_merged: int = field(default=0)

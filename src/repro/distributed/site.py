@@ -1,0 +1,114 @@
+"""Site-side agent: sketch the local substream, report on demand.
+
+A :class:`SketchSite` owns one sketch per declared stream (all built from
+the shared schema so the coordinator can merge them), absorbs local
+updates, and packages :class:`~repro.distributed.protocol.SketchReport`
+messages when a reporting round closes.  Two reporting modes:
+
+* ``cumulative`` (default) — each report carries the site's full sketch
+  since start; the coordinator *replaces* its copy.  Robust to lost
+  reports (the next one supersedes).
+* ``delta`` — each report carries only the updates since the previous
+  report (the sketch is reset after reporting); the coordinator *adds*
+  deltas.  Smaller rounds, but a lost report loses data — the classic
+  trade-off, both exact under linearity when delivery holds.
+"""
+
+from __future__ import annotations
+
+from ..core.estimator import SkimmedSketchSchema
+from ..errors import QueryError
+from .protocol import SketchReport
+
+#: Supported reporting modes.
+REPORT_MODES = ("cumulative", "delta")
+
+
+class SketchSite:
+    """One collection point's local sketching agent.
+
+    Parameters
+    ----------
+    name:
+        Site identifier carried on every report.
+    schema:
+        The fleet-wide :class:`SkimmedSketchSchema` — every site must use
+        the same one (same hash functions), or merged estimates would be
+        garbage; the coordinator verifies compatibility on receipt.
+    streams:
+        Stream names this site observes.
+    mode:
+        ``"cumulative"`` or ``"delta"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: SkimmedSketchSchema,
+        streams: list[str],
+        mode: str = "cumulative",
+    ):
+        if mode not in REPORT_MODES:
+            raise ValueError(f"mode must be one of {REPORT_MODES}, got {mode!r}")
+        if not streams:
+            raise ValueError("a site must observe at least one stream")
+        if len(set(streams)) != len(streams):
+            raise ValueError(f"duplicate stream names in {streams}")
+        self.name = name
+        self.schema = schema
+        self.mode = mode
+        self._sketches = {stream: schema.create_sketch() for stream in streams}
+        self._round = 0
+
+    @property
+    def streams(self) -> list[str]:
+        """Streams this site observes."""
+        return list(self._sketches)
+
+    @property
+    def round_number(self) -> int:
+        """Number of completed reporting rounds."""
+        return self._round
+
+    def observe(self, stream: str, value: int, weight: float = 1.0) -> None:
+        """Absorb one local stream element (insert or delete)."""
+        try:
+            sketch = self._sketches[stream]
+        except KeyError:
+            raise QueryError(
+                f"site {self.name!r} does not observe stream {stream!r}"
+            ) from None
+        sketch.update(value, weight)
+
+    def observe_bulk(self, stream: str, values, weights=None) -> None:
+        """Absorb a batch of local elements."""
+        try:
+            sketch = self._sketches[stream]
+        except KeyError:
+            raise QueryError(
+                f"site {self.name!r} does not observe stream {stream!r}"
+            ) from None
+        sketch.update_bulk(values, weights)
+
+    def close_round(self) -> list[SketchReport]:
+        """Finish the current reporting round and emit one report per stream.
+
+        In ``delta`` mode the local sketches are reset afterwards, so the
+        next round reports only new traffic.
+        """
+        self._round += 1
+        reports = [
+            SketchReport.from_sketch(self.name, stream, self._round, sketch)
+            for stream, sketch in self._sketches.items()
+        ]
+        if self.mode == "delta":
+            self._sketches = {
+                stream: self.schema.create_sketch() for stream in self._sketches
+            }
+        return reports
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchSite(name={self.name!r}, streams={self.streams}, "
+            f"mode={self.mode!r}, round={self._round})"
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the skimmed-sketch library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one type at an API boundary.  Programming mistakes (wrong types,
+out-of-range parameters) still raise the standard ``TypeError`` /
+``ValueError`` where that is the idiomatic choice.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class IncompatibleSketchError(ReproError):
+    """Two synopses that must share randomness or shape do not.
+
+    Join estimation combines sketches *pairwise per bucket/atomic sketch*;
+    that only has the right expectation when both sketches were built from
+    the same schema (identical hash and sign families) and have the same
+    dimensions.  Mixing sketches from different schemas is a silent
+    correctness bug, so it is detected and rejected eagerly.
+    """
+
+
+class DomainError(ReproError):
+    """A stream element falls outside the synopsis' declared domain."""
+
+
+class DeletionUnsupportedError(ReproError):
+    """A synopsis that cannot process deletions received one.
+
+    Random-sample summaries are the canonical example (Section 2 of the
+    paper: "a sequence of deletions can easily deplete the maintained
+    sample"); sketches never raise this.
+    """
+
+
+class QueryError(ReproError):
+    """A stream query is malformed or references unknown streams/synopses."""

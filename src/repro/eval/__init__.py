@@ -1,0 +1,66 @@
+"""Evaluation harness: metrics, sweep runner, per-figure experiment
+definitions, and plain-text reporting (paper Section 5 methodology)."""
+
+from .metrics import DEFAULT_SANITY_BOUND, ErrorSummary, join_error, relative_error
+from .diagnostics import SketchHealthReport, sketch_health
+from .plots import render_ascii_plot
+from .reporting import format_number, render_series, render_table
+from .runner import (
+    SchemaCache,
+    SweepConfig,
+    SweepResult,
+    TrialRecord,
+    make_estimators,
+    run_sweep,
+)
+from .figures import (
+    ExperimentScale,
+    default_scale,
+    full_scale,
+    make_census_workload,
+    make_shifted_zipf_workload,
+    render_figure5,
+    render_rows,
+    run_baseline_panel,
+    run_census,
+    run_dyadic_cost,
+    run_example1,
+    run_figure5,
+    run_space_scaling,
+    run_threshold_ablation,
+    scale_from_env,
+)
+
+__all__ = [
+    "DEFAULT_SANITY_BOUND",
+    "ErrorSummary",
+    "ExperimentScale",
+    "SchemaCache",
+    "SketchHealthReport",
+    "SweepConfig",
+    "SweepResult",
+    "TrialRecord",
+    "default_scale",
+    "format_number",
+    "full_scale",
+    "join_error",
+    "make_census_workload",
+    "make_estimators",
+    "make_shifted_zipf_workload",
+    "relative_error",
+    "render_ascii_plot",
+    "render_figure5",
+    "render_rows",
+    "render_series",
+    "render_table",
+    "run_baseline_panel",
+    "run_census",
+    "run_dyadic_cost",
+    "run_example1",
+    "run_figure5",
+    "run_space_scaling",
+    "run_sweep",
+    "run_threshold_ablation",
+    "scale_from_env",
+    "sketch_health",
+]

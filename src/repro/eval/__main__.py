@@ -1,0 +1,154 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.eval list
+    python -m repro.eval figure5a
+    python -m repro.eval figure5b --full-scale
+    python -m repro.eval census --trials 5
+    python -m repro.eval example1 dyadic-cost baseline-panel
+
+Each experiment prints the same table its ``benchmarks/`` counterpart
+emits; ``--full-scale`` switches the workload sizes exactly like setting
+``REPRO_FULL_SCALE=1``.  See DESIGN.md for the experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .figures import (
+    ExperimentScale,
+    default_scale,
+    full_scale,
+    render_figure5,
+    render_rows,
+    run_baseline_panel,
+    run_census,
+    run_dyadic_cost,
+    run_example1,
+    run_figure5,
+    run_space_scaling,
+    run_threshold_ablation,
+)
+from .plots import render_ascii_plot
+from .reporting import render_series, render_table
+
+
+def _figure5_output(title: str, results) -> str:
+    table = render_figure5(title, results)
+    series = {}
+    for shift, result in results.items():
+        for method, points in result.series_by_space().items():
+            series[f"{method} s={shift}"] = points
+    chart = render_ascii_plot(title, "space (words)", "error", series)
+    return f"{table}\n\n{chart}"
+
+
+def _figure5a(scale: ExperimentScale, trials: int | None) -> str:
+    if trials:
+        scale = scale.with_trials(trials)
+    results = run_figure5(1.0, (100, 200, 300), scale)
+    return _figure5_output(f"Figure 5(a) [{scale.label}]", results)
+
+
+def _figure5b(scale: ExperimentScale, trials: int | None) -> str:
+    if trials:
+        scale = scale.with_trials(trials)
+    results = run_figure5(1.5, (30, 50), scale)
+    return _figure5_output(f"Figure 5(b) [{scale.label}]", results)
+
+
+def _census(scale: ExperimentScale, trials: int | None) -> str:
+    result = run_census(trials=trials or 3)
+    return render_series(
+        "Census (synthetic stand-in)", "space (words)", result.series_by_space()
+    )
+
+
+def _example1(scale: ExperimentScale, trials: int | None) -> str:
+    result = run_example1()
+    return render_table(
+        ["quantity", "value"],
+        [[key, value] for key, value in result.items()],
+        title="Example 1 (reconstructed)",
+    )
+
+
+def _space_scaling(scale: ExperimentScale, trials: int | None) -> str:
+    rows = run_space_scaling(1.0, (20, 100, 300, 1000), scale, trials=trials or 3)
+    return render_rows("Space for 15% error vs join size", rows)
+
+
+def _dyadic_cost(scale: ExperimentScale, trials: int | None) -> str:
+    return render_rows("Dyadic SKIMDENSE descent cost", run_dyadic_cost())
+
+
+def _threshold_ablation(scale: ExperimentScale, trials: int | None) -> str:
+    rows = run_threshold_ablation(
+        (0.1, 0.3, 1.0, 3.0, 10.0, 1e6), 1.2, 50, scale, trials=trials or 3
+    )
+    return render_rows("Skim-threshold ablation", rows)
+
+
+def _baseline_panel(scale: ExperimentScale, trials: int | None) -> str:
+    rows = run_baseline_panel(scale, trials=trials or 3)
+    return render_rows("Baseline panel (equal space)", rows)
+
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale, int | None], str]] = {
+    "figure5a": _figure5a,
+    "figure5b": _figure5b,
+    "census": _census,
+    "example1": _example1,
+    "space-scaling": _space_scaling,
+    "dyadic-cost": _dyadic_cost,
+    "threshold-ablation": _threshold_ablation,
+    "baseline-panel": _baseline_panel,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids, or 'list'; known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="use the larger workload configuration (slower)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override the trial count"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; try 'list'")
+
+    scale = full_scale() if args.full_scale else default_scale()
+    for name in args.experiments:
+        started = time.perf_counter()
+        print(f"== {name} ==")
+        print(EXPERIMENTS[name](scale, args.trials))
+        print(f"[{name} took {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

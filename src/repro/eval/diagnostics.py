@@ -1,0 +1,114 @@
+"""Synopsis health diagnostics: what is this sketch seeing, and is it
+sized right for it?
+
+Operators of a deployed stream monitor can't inspect the raw stream — the
+synopsis is all there is.  Fortunately the synopsis itself supports the
+introspection that matters:
+
+* estimated stream size, second moment, and a **skew score** (how far the
+  second moment sits above the uniform-stream floor ``N²/D`` — the single
+  number that predicts whether basic sketching would have struggled and
+  how much skimming will help);
+* the current skim threshold and how many values would be extracted at it;
+* a width recommendation from the Theorem-5 sizing rule, given a target
+  accuracy and the stream's own measured statistics.
+
+The report is a plain dataclass (render with ``describe()``), so it can
+feed dashboards as easily as terminals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.estimator import SkimmedSketch
+from ..core.skim import default_threshold, skim_dense
+
+
+@dataclass(frozen=True)
+class SketchHealthReport:
+    """Snapshot of one skimmed sketch's state and sizing adequacy."""
+
+    width: int
+    depth: int
+    domain_size: int
+    stream_size: float
+    estimated_second_moment: float
+    skew_score: float
+    skim_threshold: float
+    dense_value_count: int
+    dense_mass_fraction: float
+    recommended_width: int | None
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the report."""
+        lines = [
+            f"sketch {self.width}x{self.depth} over domain {self.domain_size}",
+            f"  stream size (N)        : {self.stream_size:,.0f}",
+            f"  est. second moment (F2): {self.estimated_second_moment:,.0f}",
+            f"  skew score (F2/(N^2/D)): {self.skew_score:,.1f}"
+            + ("  [uniform-like]" if self.skew_score < 10 else "  [skewed]"),
+            f"  skim threshold (theta) : {self.skim_threshold:,.1f}",
+            f"  dense values at theta  : {self.dense_value_count} "
+            f"({self.dense_mass_fraction:.1%} of stream mass)",
+        ]
+        if self.recommended_width is not None:
+            verdict = (
+                "adequate"
+                if self.recommended_width <= self.width
+                else f"undersized (recommend width >= {self.recommended_width})"
+            )
+            lines.append(f"  sizing for target error: {verdict}")
+        return "\n".join(lines)
+
+
+def sketch_health(
+    sketch: SkimmedSketch,
+    target_error: float | None = None,
+    target_join_size: float | None = None,
+) -> SketchHealthReport:
+    """Build a :class:`SketchHealthReport` from a live skimmed sketch.
+
+    Parameters
+    ----------
+    sketch:
+        The synopsis to inspect (flat mode; dyadic sketches are inspected
+        through their base level).
+    target_error, target_join_size:
+        When both are given, the report also checks the Theorem-5 sizing
+        rule ``width >= N**2 / (target_error * target_join_size)`` against
+        the sketch's actual width.
+    """
+    inner = sketch._inner.base_sketch if sketch.schema.dyadic else sketch._inner  # noqa: SLF001
+    n = inner.absolute_mass
+    f2 = max(inner.est_self_join_size(), 0.0)
+    uniform_floor = (n * n / inner.domain_size) if n > 0 else 0.0
+    skew_score = f2 / uniform_floor if uniform_floor > 0 else 0.0
+
+    threshold = default_threshold(inner, sketch.schema.threshold_multiplier)
+    if math.isfinite(threshold):
+        skim, _ = skim_dense(inner, threshold)
+        dense_count = skim.dense_count
+        dense_fraction = skim.dense_mass() / n if n > 0 else 0.0
+    else:
+        dense_count, dense_fraction = 0, 0.0
+
+    recommended = None
+    if target_error is not None and target_join_size is not None:
+        if target_error <= 0 or target_join_size <= 0:
+            raise ValueError("target_error and target_join_size must be positive")
+        recommended = max(1, math.ceil(n * n / (target_error * target_join_size)))
+
+    return SketchHealthReport(
+        width=inner.width,
+        depth=inner.depth,
+        domain_size=inner.domain_size,
+        stream_size=n,
+        estimated_second_moment=f2,
+        skew_score=skew_score,
+        skim_threshold=threshold,
+        dense_value_count=dense_count,
+        dense_mass_fraction=min(max(dense_fraction, 0.0), 1.0),
+        recommended_width=recommended,
+    )

@@ -1,0 +1,83 @@
+"""Answer-quality metrics (paper Section 5.1, "Answer-Quality Metrics").
+
+The paper scores estimates with a *symmetric* ratio error instead of plain
+relative error, because relative error is biased in favour of
+underestimates (an estimator that always answers 0 never exceeds error 1,
+while overestimates are penalised without bound).  The symmetric error
+
+    error(est, actual) = |est - actual| / min(est, actual)
+
+penalises under- and over-estimates about equally.  When memory is very
+low, sketch estimates can come out tiny or negative; the paper then "simply
+consider[s] the error to be a large constant, say 10", which
+:func:`join_error` reproduces as the ``sanity_bound``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: The paper's error cap for non-positive / degenerate estimates.
+DEFAULT_SANITY_BOUND = 10.0
+
+
+def join_error(
+    estimate: float,
+    actual: float,
+    sanity_bound: float = DEFAULT_SANITY_BOUND,
+) -> float:
+    """Symmetric ratio error of a join-size estimate, capped at ``sanity_bound``.
+
+    ``actual`` must be positive (an experiment that joins nothing is not
+    meaningful to score).  Non-positive estimates — and any error that
+    would exceed the cap — return ``sanity_bound``.
+    """
+    if actual <= 0:
+        raise ValueError(f"actual join size must be positive, got {actual}")
+    if estimate <= 0:
+        return sanity_bound
+    error = abs(estimate - actual) / min(estimate, actual)
+    return float(min(error, sanity_bound))
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """Classic relative error ``|est - actual| / actual`` (for reference)."""
+    if actual <= 0:
+        raise ValueError(f"actual join size must be positive, got {actual}")
+    return abs(estimate - actual) / actual
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate statistics of a batch of error observations."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std: float
+
+    @classmethod
+    def of(cls, errors: Sequence[float]) -> "ErrorSummary":
+        """Summarise a non-empty sequence of error values."""
+        arr = np.asarray(list(errors), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot summarise an empty error sequence")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            std=float(arr.std()),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} median={self.median:.4g} "
+            f"min={self.minimum:.4g} max={self.maximum:.4g} std={self.std:.4g}"
+        )

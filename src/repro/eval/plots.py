@@ -1,0 +1,112 @@
+"""ASCII line charts for experiment series (terminal-native "figures").
+
+The paper's evaluation artifacts are log-scale error-vs-space plots; the
+benchmark harness prints the underlying rows, and this module renders
+them as actual charts a terminal can show, so ``python -m repro.eval
+figure5a`` output *looks* like Figure 5 and crossovers are visible at a
+glance.  Pure string manipulation, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to series, in declaration order.
+_MARKERS = "xo*+#@%&"
+
+
+def _log_scaler(values: Sequence[float], size: int):
+    """A function mapping positive values onto ``[0, size)`` on a log scale.
+
+    The scale is fixed by the *global* extremes of ``values`` so that every
+    series shares one coordinate system (scaling each series on its own
+    range would silently fake convergence).
+    """
+    logs = [math.log10(max(v, 1e-12)) for v in values]
+    low, high = min(logs), max(logs)
+
+    def scale(value: float) -> int:
+        if high == low:
+            return size // 2
+        position = (math.log10(max(value, 1e-12)) - low) / (high - low)
+        return min(size - 1, int(round(position * (size - 1))))
+
+    return scale
+
+
+def render_ascii_plot(
+    title: str,
+    x_label: str,
+    y_label: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render (x, y) series as a log-log ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    title, x_label, y_label:
+        Chart annotations.
+    series:
+        Mapping of series name to (x, y) points; y values must be
+        positive (errors, sizes, times — everything we plot is).
+    width, height:
+        Plot-area size in characters.
+    """
+    if not series or all(not points for points in series.values()):
+        return f"{title}\n(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("plot area must be at least 8x4 characters")
+
+    all_x = [x for points in series.values() for x, _ in points]
+    all_y = [max(y, 1e-12) for points in series.values() for _, y in points]
+    scale_x = _log_scaler(all_x, width)
+    scale_y = _log_scaler(all_y, height)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, points), marker in zip(series.items(), _MARKERS):
+        if not points:
+            continue
+        xs = [scale_x(x) for x, _ in points]
+        ys = [scale_y(max(y, 1e-12)) for _, y in points]
+        previous = None
+        for column, row in zip(xs, ys):
+            flipped = height - 1 - row
+            grid[flipped][column] = marker
+            if previous is not None:
+                _draw_segment(grid, previous, (column, flipped), marker)
+            previous = (column, flipped)
+
+    y_high, y_low = max(all_y), min(all_y)
+    lines = [title]
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{y_high:8.2g} |"
+        elif index == height - 1:
+            label = f"{y_low:8.2g} |"
+        elif index == height // 2:
+            label = f"{y_label:>8.8} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_axis = f"{min(all_x):<10.4g}{x_label:^{max(0, width - 20)}}{max(all_x):>10.4g}"
+    lines.append("          " + x_axis)
+    legend = "   ".join(
+        f"{marker} = {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, marker) -> None:
+    """Sparse linear interpolation between consecutive points (dots)."""
+    (x0, y0), (x1, y1) = start, end
+    steps = max(abs(x1 - x0), abs(y1 - y0))
+    for step in range(1, steps):
+        x = x0 + round((x1 - x0) * step / steps)
+        y = y0 + round((y1 - y0) * step / steps)
+        if grid[y][x] == " ":
+            grid[y][x] = "."

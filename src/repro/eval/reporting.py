@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results (the "figures" of the repo).
+
+The benchmark harness regenerates every evaluation artifact of the paper
+as printed tables/series — the same rows a plot would be drawn from.
+These helpers keep the formatting in one place so all benches look alike.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_number(value: float) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6 or magnitude < 1e-3:
+        return f"{value:.3e}"
+    if magnitude >= 100:
+        return f"{value:.1f}"
+    return f"{value:.4f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    formatted_rows = [
+        [
+            cell if isinstance(cell, str) else format_number(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted_rows))
+        if formatted_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+) -> str:
+    """Render several (x, y) series as one table keyed by x.
+
+    ``series`` maps a method/series name to its sorted (x, y) points; x
+    values are unioned across series (missing points render blank), which
+    matches how the paper's figure-5 plots overlay methods on a shared
+    space axis.
+    """
+    xs = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for name in series:
+            value = lookup[name].get(x)
+            row.append("" if value is None else value)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,21 @@
+"""Pseudo-random hash-family substrate for all sketches in the library.
+
+The constructions here (Carter--Wegman polynomial hashing over the Mersenne
+prime 2**31 - 1) supply the pairwise-independent bucket hashes and the
+four-wise independent ±1 sign variables that the paper's sketch synopses
+are built from (Section 2.2 and Section 4.1 of the paper).
+"""
+
+from .prime_field import MERSENNE_PRIME_31, poly_eval, poly_eval_many
+from .kwise import KWiseHashFamily
+from .pairwise import PairwiseBucketHash
+from .fourwise import FourWiseSignFamily
+
+__all__ = [
+    "MERSENNE_PRIME_31",
+    "poly_eval",
+    "poly_eval_many",
+    "KWiseHashFamily",
+    "PairwiseBucketHash",
+    "FourWiseSignFamily",
+]

@@ -1,0 +1,67 @@
+"""Four-wise independent ±1 sign families (the AGMS ``xi`` variables).
+
+Every sketch in this library — basic AGMS atomic sketches, hash-sketch
+buckets, and their skimmed variants — is a random linear projection of the
+stream's frequency vector onto vectors of four-wise independent ±1 random
+variables.  Four-wise independence is exactly what the variance analysis of
+Alon, Matias and Szegedy [3] requires (the second moment of the estimator
+expands into fourth moments of the signs).
+
+Construction: evaluate a random degree-3 polynomial over GF(p) and take the
+parity of the result as the sign bit.  The parity of a uniform value on
+``[0, p)`` with odd ``p`` has bias ``1/(2p) < 2**-32`` — negligible against
+sketching error and the standard construction used in practice (it is the
+orthogonal-array trick of [3] instantiated over a prime field).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kwise import KWiseHashFamily
+
+
+class FourWiseSignFamily:
+    """``count`` independent four-wise ±1 sign functions over the domain.
+
+    Function ``i`` provides the sign variables of the ``i``-th hash table
+    (hash sketches) or the ``i``-th atomic sketch (basic AGMS).
+    """
+
+    def __init__(self, count: int, rng: np.random.Generator):
+        self._family = KWiseHashFamily(count, independence=4, rng=rng)
+
+    @property
+    def count(self) -> int:
+        """Number of independent sign functions in the family."""
+        return self._family.count
+
+    def signs(self, values: np.ndarray | list[int] | int) -> np.ndarray:
+        """±1 signs of ``values`` under every function.
+
+        Returns a ``float64`` array of shape ``(count, len(values))`` with
+        entries in ``{-1.0, +1.0}`` (float so it multiplies directly into
+        counter updates without casting).
+        """
+        raw = self._family.evaluate(values)
+        return np.where(raw & np.uint64(1), 1.0, -1.0)
+
+    def signs_one(self, index: int, values: np.ndarray | list[int] | int) -> np.ndarray:
+        """±1 signs of ``values`` under function ``index`` only."""
+        raw = self._family.evaluate_one(index, values)
+        return np.where(raw & np.uint64(1), 1.0, -1.0)
+
+    def state_words(self) -> int:
+        """Machine words of sign-family state."""
+        return self._family.state_words()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FourWiseSignFamily):
+            return NotImplemented
+        return self._family == other._family
+
+    def __hash__(self) -> int:
+        return hash(self._family)
+
+    def __repr__(self) -> str:
+        return f"FourWiseSignFamily(count={self.count})"

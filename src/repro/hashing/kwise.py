@@ -1,0 +1,105 @@
+"""k-wise independent hash families via random polynomials over GF(p).
+
+A family of degree-(k-1) polynomials with uniformly random coefficients over
+a prime field is k-wise independent: for any k distinct inputs, the k hash
+values are independent and uniform on ``[0, p)``.  This is the classic
+Carter--Wegman construction that Alon, Matias and Szegedy [3] (and every
+sketch paper after them) rely on, and it needs only ``O(k log p)`` bits of
+state per hash function — the property that makes sketch synopses small.
+
+:class:`KWiseHashFamily` bundles *many* independent hash functions of the
+same independence level so that a whole sketch (one function per table, or
+one per atomic sketch) can be evaluated with a single vectorised call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .prime_field import (
+    MERSENNE_PRIME_31,
+    as_field_elements,
+    poly_eval,
+    poly_eval_many,
+    random_coefficients,
+)
+
+
+class KWiseHashFamily:
+    """``count`` independent k-wise independent hash functions onto [0, p).
+
+    Parameters
+    ----------
+    count:
+        Number of independent hash functions in the family (e.g. one per
+        hash table of a sketch).
+    independence:
+        The independence level ``k`` (2 for pairwise bucket hashes, 4 for
+        the AGMS sign variables).  The underlying polynomials have degree
+        ``k - 1``.
+    rng:
+        A seeded :class:`numpy.random.Generator`; the family is fully
+        determined by the coefficients drawn here, so two families built
+        from identically-seeded generators are identical.
+    """
+
+    def __init__(self, count: int, independence: int, rng: np.random.Generator):
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if independence < 1:
+            raise ValueError(f"independence must be >= 1, got {independence}")
+        self.count = count
+        self.independence = independence
+        self._coefficients = random_coefficients(rng, count, independence - 1)
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Coefficient matrix, shape ``(count, independence)``; read-only view."""
+        view = self._coefficients.view()
+        view.flags.writeable = False
+        return view
+
+    def evaluate(self, values: np.ndarray | list[int] | int) -> np.ndarray:
+        """Hash ``values`` with every function in the family.
+
+        Returns a ``uint64`` array of shape ``(count, len(values))`` (the
+        point axis is added for scalar input) with entries in ``[0, p)``.
+        """
+        points = np.atleast_1d(as_field_elements(values))
+        return poly_eval_many(self._coefficients, points)
+
+    def evaluate_one(self, index: int, values: np.ndarray | list[int] | int) -> np.ndarray:
+        """Hash ``values`` with the single function ``index``.
+
+        Cheaper than :meth:`evaluate` when a caller (e.g. the dyadic skim
+        descent) only needs one table's hash over a long value vector.
+        """
+        points = np.atleast_1d(as_field_elements(values))
+        return poly_eval(self._coefficients[index], points)
+
+    def state_words(self) -> int:
+        """Number of machine words of state (coefficients) the family stores.
+
+        Used by the evaluation harness when accounting for total synopsis
+        space; matches the paper's observation that seed state is
+        ``O(log |D|)`` words per function.
+        """
+        return int(self._coefficients.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KWiseHashFamily):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.independence == other.independence
+            and np.array_equal(self._coefficients, other._coefficients)
+        )
+
+    def __hash__(self) -> int:  # families are mutable-free; hash by content
+        return hash((self.count, self.independence, self._coefficients.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"KWiseHashFamily(count={self.count}, "
+            f"independence={self.independence}, p={MERSENNE_PRIME_31})"
+        )

@@ -1,0 +1,62 @@
+"""Pairwise-independent bucket hashes ``h_i : domain -> [0, width)``.
+
+The hash sketch of Section 4.1 needs, for each of its ``depth`` tables, a
+pairwise independent function mapping stream elements uniformly over the
+table's ``width`` buckets.  We compose a pairwise family over GF(p) with a
+modulo range reduction; the reduction keeps pairwise independence and its
+non-uniformity is at most ``width / p < 2**-13`` for every width used in
+practice, which is far below the sketch's own estimation error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kwise import KWiseHashFamily
+
+
+class PairwiseBucketHash:
+    """``count`` independent pairwise hashes onto ``[0, width)``.
+
+    One instance serves a whole hash sketch: function ``i`` is the bucket
+    hash of table ``i``.  Evaluation is vectorised over input values.
+    """
+
+    def __init__(self, count: int, width: int, rng: np.random.Generator):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._family = KWiseHashFamily(count, independence=2, rng=rng)
+
+    @property
+    def count(self) -> int:
+        """Number of independent bucket hashes (sketch depth)."""
+        return self._family.count
+
+    def buckets(self, values: np.ndarray | list[int] | int) -> np.ndarray:
+        """Bucket indices for ``values`` under every hash.
+
+        Returns an ``int64`` array of shape ``(count, len(values))`` with
+        entries in ``[0, width)``.
+        """
+        return (self._family.evaluate(values) % np.uint64(self.width)).astype(np.int64)
+
+    def buckets_one(self, index: int, values: np.ndarray | list[int] | int) -> np.ndarray:
+        """Bucket indices for ``values`` under hash ``index`` only."""
+        raw = self._family.evaluate_one(index, values)
+        return (raw % np.uint64(self.width)).astype(np.int64)
+
+    def state_words(self) -> int:
+        """Machine words of hash state (see :meth:`KWiseHashFamily.state_words`)."""
+        return self._family.state_words()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PairwiseBucketHash):
+            return NotImplemented
+        return self.width == other.width and self._family == other._family
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._family))
+
+    def __repr__(self) -> str:
+        return f"PairwiseBucketHash(count={self.count}, width={self.width})"

@@ -1,0 +1,127 @@
+"""Vectorised arithmetic over the Mersenne prime field GF(p), p = 2**31 - 1.
+
+All pseudo-random hash families in this package are polynomials evaluated
+over a prime field (the classic Carter--Wegman construction).  We use the
+Mersenne prime ``p = 2**31 - 1`` because:
+
+* every field element fits in 31 bits, so the product of two elements fits
+  in 62 bits and is exactly representable in ``uint64`` without overflow;
+* reduction modulo a Mersenne prime can be done with shifts and adds, but
+  numpy's ``%`` on ``uint64`` is already fast enough for our purposes and
+  easier to audit, so we keep the plain modulo.
+
+The helpers below are deliberately tiny and allocation-conscious: they are
+on the per-element update path of every sketch in the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The Mersenne prime 2**31 - 1 used by every hash family in the library.
+MERSENNE_PRIME_31: int = (1 << 31) - 1
+
+_P = np.uint64(MERSENNE_PRIME_31)
+
+
+def as_field_elements(values: np.ndarray | list[int] | int) -> np.ndarray:
+    """Return ``values`` as ``uint64`` field elements reduced mod p.
+
+    Accepts scalars, lists, or arrays of any integer dtype.  Negative
+    inputs are rejected: domain values in the stream model are always
+    non-negative integers.
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind not in ("i", "u"):
+        raise TypeError(f"field elements must be integers, got dtype {arr.dtype}")
+    if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:
+        raise ValueError("field elements must be non-negative")
+    return arr.astype(np.uint64, copy=False) % _P
+
+
+def mulmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Product of field elements, elementwise.
+
+    Both inputs must already be reduced (< p), which callers guarantee by
+    construction; the product of two 31-bit values fits in 62 bits, so the
+    ``uint64`` multiply is exact.
+    """
+    return (a * b) % _P
+
+
+def addmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sum of field elements, elementwise (inputs reduced, sum < 2**32)."""
+    return (a + b) % _P
+
+
+def poly_eval(coefficients: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate a polynomial over GF(p) at many points (Horner's rule).
+
+    Parameters
+    ----------
+    coefficients:
+        1-D ``uint64`` array ``[c_{k-1}, ..., c_1, c_0]`` of length ``k``
+        (highest degree first), all entries reduced mod p.
+    points:
+        ``uint64`` array of evaluation points, reduced mod p.
+
+    Returns
+    -------
+    ``uint64`` array of the same shape as ``points`` with values in
+    ``[0, p)``.
+    """
+    if coefficients.ndim != 1 or coefficients.size == 0:
+        raise ValueError("coefficients must be a non-empty 1-D array")
+    acc = np.full_like(points, coefficients[0])
+    for c in coefficients[1:]:
+        acc = (acc * points + c) % _P
+    return acc
+
+
+def poly_eval_many(coefficients: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate many polynomials of the same degree at the same points.
+
+    Parameters
+    ----------
+    coefficients:
+        2-D ``uint64`` array of shape ``(num_polys, k)``, highest degree
+        first, entries reduced mod p.
+    points:
+        1-D ``uint64`` array of ``m`` evaluation points, reduced mod p.
+
+    Returns
+    -------
+    ``uint64`` array of shape ``(num_polys, m)``.
+
+    Notes
+    -----
+    Horner's rule is applied with the polynomial axis broadcast against the
+    point axis, so the work is ``O(num_polys * m * k)`` numpy operations
+    with no Python-level loop over either polynomials or points.
+    """
+    if coefficients.ndim != 2 or coefficients.shape[1] == 0:
+        raise ValueError("coefficients must have shape (num_polys, k), k >= 1")
+    pts = points[np.newaxis, :]
+    acc = np.broadcast_to(coefficients[:, :1], (coefficients.shape[0], points.size)).copy()
+    for j in range(1, coefficients.shape[1]):
+        acc = (acc * pts + coefficients[:, j : j + 1]) % _P
+    return acc
+
+
+def random_coefficients(
+    rng: np.random.Generator, num_polys: int, degree: int
+) -> np.ndarray:
+    """Draw coefficient matrix for ``num_polys`` random degree-``degree`` polys.
+
+    The leading coefficient is drawn from ``[1, p)`` so every polynomial has
+    exact degree ``degree`` (required for the independence guarantees of the
+    Carter--Wegman construction); remaining coefficients are uniform on
+    ``[0, p)``.  Shape of the result is ``(num_polys, degree + 1)``,
+    highest degree first.
+    """
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    coeffs = rng.integers(0, MERSENNE_PRIME_31, size=(num_polys, degree + 1), dtype=np.uint64)
+    if degree > 0:
+        coeffs[:, 0] = rng.integers(1, MERSENNE_PRIME_31, size=num_polys, dtype=np.uint64)
+    return coeffs

@@ -1,0 +1,308 @@
+"""The hash sketch data structure (paper Section 4.1).
+
+A hash sketch is ``depth`` hash tables (paper's ``s2``) of ``width``
+counter buckets each (paper's ``s1``).  Table ``i`` carries a pairwise
+independent bucket hash ``h_i`` and a four-wise independent ±1 family
+``xi_i``; processing element ``(v, w)`` performs, for each table,
+
+    C[i, h_i(v)] += w * xi_i(v)
+
+so each bucket counter is itself an atomic AGMS sketch of the substream of
+values hashing into it.  The per-element cost is ``O(depth)`` — *one*
+counter per table — which is the paper's logarithmic update-time claim,
+versus ``O(width * depth)`` for basic AGMS.
+
+The structure is a linear projection of the stream's frequency vector, so
+it supports deletions, merging, and — crucially for skimming — *subtracting
+a known frequency vector* (:meth:`HashSketch.subtract_frequencies`), which
+is how ``SKIMDENSE`` removes extracted dense frequencies.
+
+Estimators provided here:
+
+* :meth:`HashSketch.point_estimate` — the COUNTSKETCH frequency estimate
+  ``median_i C[i, h_i(v)] * xi_i(v)`` (paper Theorem 3);
+* :meth:`HashSketch.est_join_size` — the bucket-wise inner product
+  ``median_i sum_b C_F[i, b] * C_G[i, b]``, used both as the "Fast-AGMS"
+  join estimator and as the sparse-sparse sub-join term of
+  ``ESTSKIMJOINSIZE``;
+* :meth:`HashSketch.est_self_join_size` — second-moment estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DomainError, IncompatibleSketchError
+from ..hashing import FourWiseSignFamily, PairwiseBucketHash
+from .base import StreamSynopsis
+
+
+class HashSketchSchema:
+    """Shared hash/sign randomness and shape for join-compatible hash sketches.
+
+    The paper requires the two joined sketches to "use identical hash
+    functions h_i" (Section 4.3); creating both from one schema guarantees
+    it.
+
+    Parameters
+    ----------
+    width:
+        Buckets per hash table (paper's ``s1``; 50..250 in the experiments).
+    depth:
+        Number of hash tables median-selected over (paper's ``s2``;
+        11..59 in the experiments — odd values keep the median unique).
+    domain_size:
+        Size of the integer value domain.
+    seed:
+        Seed determining all hash and sign families.
+    """
+
+    def __init__(self, width: int, depth: int, domain_size: int, seed: int = 0):
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if domain_size < 1:
+            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+        self.width = width
+        self.depth = depth
+        self.domain_size = domain_size
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.buckets = PairwiseBucketHash(depth, width, rng)
+        self.signs = FourWiseSignFamily(depth, rng)
+
+    def create_sketch(self) -> "HashSketch":
+        """A fresh empty sketch bound to this schema."""
+        return HashSketch(self)
+
+    def sketch_of(self, frequencies) -> "HashSketch":
+        """Convenience: a sketch pre-loaded with a whole frequency vector."""
+        sketch = self.create_sketch()
+        sketch.ingest_frequency_vector(frequencies)
+        return sketch
+
+    def is_compatible(self, other: "HashSketchSchema") -> bool:
+        """True if sketches from ``other`` may be combined with ours."""
+        return (
+            self.width == other.width
+            and self.depth == other.depth
+            and self.domain_size == other.domain_size
+            and self.buckets == other.buckets
+            and self.signs == other.signs
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HashSketchSchema(width={self.width}, depth={self.depth}, "
+            f"domain_size={self.domain_size}, seed={self.seed})"
+        )
+
+
+class HashSketch(StreamSynopsis):
+    """One stream's hash-sketch synopsis (``depth`` tables x ``width`` buckets)."""
+
+    def __init__(self, schema: HashSketchSchema):
+        self._schema = schema
+        self._counters = np.zeros((schema.depth, schema.width))
+        self._absolute_mass = 0.0
+        self._table_index = np.arange(schema.depth)
+
+    # -- synopsis contract ---------------------------------------------------
+
+    @property
+    def schema(self) -> HashSketchSchema:
+        """The schema (shared randomness) this sketch was created from."""
+        return self._schema
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the integer value domain this synopsis covers."""
+        return self._schema.domain_size
+
+    @property
+    def width(self) -> int:
+        """Buckets per table (paper's ``s1``)."""
+        return self._schema.width
+
+    @property
+    def depth(self) -> int:
+        """Number of tables (paper's ``s2``)."""
+        return self._schema.depth
+
+    @property
+    def counters(self) -> np.ndarray:
+        """Read-only ``(depth, width)`` view of the bucket counters."""
+        view = self._counters.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def absolute_mass(self) -> float:
+        """Sum of ``|weight|`` over processed updates — the tracked stream
+        size ``N`` that the skimming threshold ``theta = c N / sqrt(width)``
+        is computed from.  Unchanged by :meth:`subtract_frequencies`, which
+        removes *already counted* mass rather than observing new elements.
+        """
+        return self._absolute_mass
+
+    def update(self, value: int, weight: float = 1.0) -> None:
+        """O(depth): exactly one counter per table is touched (paper §4.1)."""
+        self._check_value(value)
+        buckets = self._schema.buckets.buckets(value)[:, 0]
+        signs = self._schema.signs.signs(value)[:, 0]
+        self._counters[self._table_index, buckets] += weight * signs
+        self._absolute_mass += abs(weight)
+
+    def update_bulk(self, values: np.ndarray, weights: np.ndarray | None = None) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return
+        self._check_value(int(values.min()))
+        self._check_value(int(values.max()))
+        if weights is None:
+            weights = np.ones(values.size)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != values.shape:
+                raise ValueError("weights must have the same shape as values")
+        self._apply_point_masses(values, weights)
+        self._absolute_mass += float(np.abs(weights).sum())
+
+    def size_in_counters(self) -> int:
+        return int(self._counters.size)
+
+    def seed_words(self) -> int:
+        return self._schema.buckets.state_words() + self._schema.signs.state_words()
+
+    # -- point (frequency) estimation: COUNTSKETCH / Theorem 3 -----------------
+
+    def point_estimates(self, values: np.ndarray) -> np.ndarray:
+        """COUNTSKETCH frequency estimates for each value.
+
+        ``EST(v) = median_i C[i, h_i(v)] * xi_i(v)``; additive error is
+        ``O(sqrt(F2 / width))`` with probability ``1 - 2^{-Theta(depth)}``
+        (paper Theorem 3).  Vectorised over ``values``.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return np.zeros(0)
+        buckets = self._schema.buckets.buckets(values)
+        signs = self._schema.signs.signs(values)
+        per_table = self._counters[self._table_index[:, None], buckets] * signs
+        return np.median(per_table, axis=0)
+
+    def point_estimate(self, value: int) -> float:
+        """Frequency estimate for a single domain value."""
+        self._check_value(value)
+        return float(self.point_estimates(np.asarray([value]))[0])
+
+    def all_point_estimates(self) -> np.ndarray:
+        """Frequency estimates for every value of the domain.
+
+        Linear in ``domain_size * depth`` — the cost the dyadic skim
+        optimisation of Section 4.2 exists to avoid for huge domains, but
+        entirely practical (and exact in coverage) for materialisable ones.
+        """
+        return self.point_estimates(np.arange(self.domain_size, dtype=np.int64))
+
+    # -- join estimation ---------------------------------------------------------
+
+    def table_join_estimates(self, other: "HashSketch") -> np.ndarray:
+        """Per-table join estimates ``Y_i = sum_b C_F[i, b] * C_G[i, b]``.
+
+        Because both sketches share ``h_i``, the values mapping to bucket
+        ``b`` are identical on both sides and each ``Y_i`` is an unbiased
+        estimate of ``<f, g>`` (Steps 3-7 of ``ESTSKIMJOINSIZE``).
+        """
+        self._check_compatible(other)
+        return np.einsum("ij,ij->i", self._counters, other._counters)
+
+    def est_join_size(self, other: "HashSketch") -> float:
+        """Median-boosted binary-join size estimate from two hash sketches."""
+        return float(np.median(self.table_join_estimates(other)))
+
+    def est_self_join_size(self) -> float:
+        """Second-moment estimate ``median_i sum_b C[i, b]^2``."""
+        return float(np.median(np.einsum("ij,ij->i", self._counters, self._counters)))
+
+    def join_error_bound(self, other: "HashSketch") -> float:
+        """Estimated maximum additive error of :meth:`est_join_size`.
+
+        Theorem-2-style bound ``2 sqrt(SJ(f) SJ(g) / width)``, with the
+        self-join sizes themselves estimated from the sketches; holds with
+        the usual median-boosted probability.  This is the quantity that
+        explodes under skew and that skimming shrinks.
+        """
+        self._check_compatible(other)
+        sj_product = max(self.est_self_join_size(), 0.0) * max(
+            other.est_self_join_size(), 0.0
+        )
+        return float(2.0 * np.sqrt(sj_product / self.width))
+
+    # -- linearity: merge / subtract -----------------------------------------------
+
+    def merged_with(self, other: "HashSketch") -> "HashSketch":
+        """Sketch of the concatenation of both underlying streams."""
+        self._check_compatible(other)
+        result = HashSketch(self._schema)
+        result._counters = self._counters + other._counters
+        result._absolute_mass = self._absolute_mass + other._absolute_mass
+        return result
+
+    def subtract_frequencies(self, values: np.ndarray, frequencies: np.ndarray) -> None:
+        """Remove a known frequency assignment from the sketch, in place.
+
+        After the call the sketch equals the sketch of the *residual*
+        frequency vector ``f - fhat`` where ``fhat`` puts ``frequencies[k]``
+        on ``values[k]`` — exactly Steps 8-9 of ``SKIMDENSE`` (Figure 3).
+        """
+        values = np.asarray(values, dtype=np.int64)
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.shape != values.shape:
+            raise ValueError("frequencies must have the same shape as values")
+        if values.size == 0:
+            return
+        self._check_value(int(values.min()))
+        self._check_value(int(values.max()))
+        self._apply_point_masses(values, -frequencies)
+
+    def copy(self) -> "HashSketch":
+        """Independent deep copy (used to keep the unskimmed sketch around)."""
+        result = HashSketch(self._schema)
+        result._counters = self._counters.copy()
+        result._absolute_mass = self._absolute_mass
+        return result
+
+    # -- internals -------------------------------------------------------------------
+
+    def _apply_point_masses(self, values: np.ndarray, masses: np.ndarray) -> None:
+        """Add ``masses[k] * xi_i(values[k])`` into bucket ``h_i(values[k])``."""
+        for table in range(self._schema.depth):
+            buckets = self._schema.buckets.buckets_one(table, values)
+            signed = masses * self._schema.signs.signs_one(table, values)
+            self._counters[table] += np.bincount(
+                buckets, weights=signed, minlength=self._schema.width
+            )
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value < self.domain_size:
+            raise DomainError(f"value {value} outside domain [0, {self.domain_size})")
+
+    def _check_compatible(self, other: "HashSketch") -> None:
+        if not isinstance(other, HashSketch):
+            raise IncompatibleSketchError(
+                f"cannot combine HashSketch with {type(other).__name__}"
+            )
+        if other._schema is not self._schema and not self._schema.is_compatible(
+            other._schema
+        ):
+            raise IncompatibleSketchError(
+                "sketches come from different hash-sketch schemas (randomness differs)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"HashSketch(width={self.width}, depth={self.depth}, "
+            f"N={self._absolute_mass:g})"
+        )

@@ -1,0 +1,215 @@
+"""Synopsis persistence: save/load sketches with their schemas.
+
+A deployed stream processor checkpoints its synopses (process restarts,
+node migration, "ship the sketch to the coordinator" patterns — the
+natural operations on a linear, mergeable summary).  Persistence must
+round-trip the *schema* too: a sketch without its hash/sign families is
+just noise, and a restored sketch must remain join-compatible with live
+sketches built from the same seed.
+
+Everything is serialised to a flat ``dict`` of JSON-safe scalars and
+numpy arrays, written with :func:`numpy.savez_compressed`.  Schemas are
+reconstructed from their defining parameters (seeded randomness makes the
+families identical), counters are restored verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from ..core.estimator import SkimmedSketch, SkimmedSketchSchema
+from ..errors import ReproError
+from .agms import AGMSSchema, AGMSSketch
+from .dyadic import DyadicHashSketch, DyadicSketchSchema
+from .hash_sketch import HashSketch, HashSketchSchema
+
+#: Format marker embedded in every archive (bump on layout changes).
+FORMAT_VERSION = 1
+
+_KIND_HASH = "hash"
+_KIND_AGMS = "agms"
+_KIND_DYADIC = "dyadic"
+_KIND_SKIMMED = "skimmed"
+
+
+class SerializationError(ReproError):
+    """The archive is missing, malformed, or of an unknown kind/version."""
+
+
+def _schema_fields(sketch) -> dict:
+    """Common schema parameters shared by all sketch kinds."""
+    schema = sketch.schema
+    return {
+        "version": FORMAT_VERSION,
+        "width": getattr(schema, "width", 0),
+        "depth": getattr(schema, "depth", 0),
+        "domain_size": schema.domain_size,
+        "seed": schema.seed,
+    }
+
+
+def sketch_state(sketch) -> dict:
+    """The complete state of a sketch as a flat, array-valued dict."""
+    if isinstance(sketch, HashSketch):
+        return {
+            **_schema_fields(sketch),
+            "kind": _KIND_HASH,
+            "counters": sketch.counters.copy(),
+            "absolute_mass": sketch.absolute_mass,
+        }
+    if isinstance(sketch, AGMSSketch):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": _KIND_AGMS,
+            "averaging": sketch.schema.averaging,
+            "median": sketch.schema.median,
+            "domain_size": sketch.schema.domain_size,
+            "seed": sketch.schema.seed,
+            "counters": sketch.atomic_sketches.copy(),
+            "absolute_mass": sketch.absolute_mass,
+        }
+    if isinstance(sketch, DyadicHashSketch):
+        state = {
+            **_schema_fields(sketch),
+            "kind": _KIND_DYADIC,
+            "coarse_cutoff": sketch.schema.coarse_cutoff,
+            "num_levels": sketch.schema.num_levels,
+        }
+        for level in range(sketch.schema.num_levels):
+            inner = sketch.level_sketch(level)
+            state[f"counters_{level}"] = inner.counters.copy()
+            state[f"absolute_mass_{level}"] = inner.absolute_mass
+        return state
+    if isinstance(sketch, SkimmedSketch):
+        inner_state = sketch_state(sketch._inner)  # noqa: SLF001
+        inner_state["kind"] = _KIND_SKIMMED
+        inner_state["inner_kind"] = (
+            _KIND_DYADIC if sketch.schema.dyadic else _KIND_HASH
+        )
+        inner_state["threshold_multiplier"] = sketch.schema.threshold_multiplier
+        return inner_state
+    raise SerializationError(f"cannot serialise {type(sketch).__name__}")
+
+
+def _restore_hash(state: dict) -> HashSketch:
+    schema = HashSketchSchema(
+        int(state["width"]),
+        int(state["depth"]),
+        int(state["domain_size"]),
+        seed=int(state["seed"]),
+    )
+    sketch = schema.create_sketch()
+    counters = np.asarray(state["counters"], dtype=np.float64)
+    if counters.shape != (schema.depth, schema.width):
+        raise SerializationError(
+            f"counter shape {counters.shape} does not match schema "
+            f"({schema.depth}, {schema.width})"
+        )
+    sketch._counters = counters  # noqa: SLF001
+    sketch._absolute_mass = float(state["absolute_mass"])  # noqa: SLF001
+    return sketch
+
+
+def _restore_agms(state: dict) -> AGMSSketch:
+    schema = AGMSSchema(
+        int(state["averaging"]),
+        int(state["median"]),
+        int(state["domain_size"]),
+        seed=int(state["seed"]),
+    )
+    sketch = schema.create_sketch()
+    counters = np.asarray(state["counters"], dtype=np.float64)
+    if counters.shape != (schema.median, schema.averaging):
+        raise SerializationError(
+            f"counter shape {counters.shape} does not match schema "
+            f"({schema.median}, {schema.averaging})"
+        )
+    sketch._atomic = counters  # noqa: SLF001
+    sketch._absolute_mass = float(state["absolute_mass"])  # noqa: SLF001
+    return sketch
+
+
+def _restore_dyadic(state: dict) -> DyadicHashSketch:
+    schema = DyadicSketchSchema(
+        int(state["width"]),
+        int(state["depth"]),
+        int(state["domain_size"]),
+        seed=int(state["seed"]),
+        coarse_cutoff=int(state["coarse_cutoff"]),
+    )
+    if schema.num_levels != int(state["num_levels"]):
+        raise SerializationError(
+            f"archive has {state['num_levels']} levels, schema rebuilds "
+            f"{schema.num_levels}"
+        )
+    sketch = schema.create_sketch()
+    for level in range(schema.num_levels):
+        inner = sketch.level_sketch(level)
+        inner._counters = np.asarray(  # noqa: SLF001
+            state[f"counters_{level}"], dtype=np.float64
+        )
+        inner._absolute_mass = float(state[f"absolute_mass_{level}"])  # noqa: SLF001
+    return sketch
+
+
+def _restore_skimmed(state: dict) -> SkimmedSketch:
+    schema = SkimmedSketchSchema(
+        int(state["width"]),
+        int(state["depth"]),
+        int(state["domain_size"]),
+        seed=int(state["seed"]),
+        dyadic=str(state["inner_kind"]) == _KIND_DYADIC,
+        threshold_multiplier=float(state["threshold_multiplier"]),
+    )
+    sketch = schema.create_sketch()
+    inner_state = dict(state)
+    inner_state["kind"] = str(state["inner_kind"])
+    sketch._inner = sketch_from_state(inner_state)  # noqa: SLF001
+    return sketch
+
+
+def sketch_from_state(state: dict):
+    """Rebuild a sketch (schema included) from :func:`sketch_state` output."""
+    version = int(state.get("version", -1))
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported archive version {version}")
+    kind = str(state.get("kind", ""))
+    restorers = {
+        _KIND_HASH: _restore_hash,
+        _KIND_AGMS: _restore_agms,
+        _KIND_DYADIC: _restore_dyadic,
+        _KIND_SKIMMED: _restore_skimmed,
+    }
+    if kind not in restorers:
+        raise SerializationError(f"unknown sketch kind {kind!r}")
+    return restorers[kind](state)
+
+
+def save_sketch(sketch, destination: str | Path | BinaryIO) -> None:
+    """Persist a sketch (with schema parameters) to an ``.npz`` archive."""
+    state = sketch_state(sketch)
+    np.savez_compressed(destination, **state)
+
+
+def load_sketch(source: str | Path | BinaryIO):
+    """Load a sketch previously written by :func:`save_sketch`.
+
+    The restored sketch is join-compatible with any live sketch built from
+    the same schema parameters and seed.
+    """
+    try:
+        with np.load(source, allow_pickle=False) as archive:
+            state = {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except Exception as error:  # zipfile/numpy raise various types here
+        raise SerializationError(f"unreadable sketch archive: {error}") from error
+    # Scalars come back as 0-d arrays; unwrap them.
+    state = {
+        key: value.item() if getattr(value, "ndim", 1) == 0 else value
+        for key, value in state.items()
+    }
+    return sketch_from_state(state)

@@ -1,0 +1,84 @@
+"""Stream substrate: data model, workload generators, query AST, the
+Figure-1 query engine, and the multi-join extension."""
+
+from .model import FrequencyVector, Update, iter_stream
+from .generators import (
+    census_like_pair,
+    element_stream,
+    insert_delete_stream,
+    shifted_frequencies,
+    shifted_zipf_pair,
+    uniform_frequencies,
+    zipf_frequencies,
+    zipf_probabilities,
+)
+from .query import (
+    FunctionPredicate,
+    InSetPredicate,
+    JoinAverageQuery,
+    JoinCountQuery,
+    JoinSumQuery,
+    MultiJoinCountQuery,
+    PointQuery,
+    Predicate,
+    Query,
+    RangePredicate,
+    SelfJoinQuery,
+    TruePredicate,
+)
+from .engine import StreamEngine
+from .sql import ParsedQuery, parse_query
+from .sources import (
+    CallDetailRecord,
+    CDRSource,
+    InterfaceSample,
+    SNMPSource,
+    feed_engine,
+)
+from .windows import WindowedSketch, WindowedSketchSchema
+from .multijoin import (
+    MultiJoinSchema,
+    RelationSketch,
+    est_multi_join_count,
+    validate_join_graph,
+)
+
+__all__ = [
+    "CDRSource",
+    "CallDetailRecord",
+    "FrequencyVector",
+    "FunctionPredicate",
+    "InSetPredicate",
+    "InterfaceSample",
+    "JoinAverageQuery",
+    "JoinCountQuery",
+    "JoinSumQuery",
+    "MultiJoinCountQuery",
+    "MultiJoinSchema",
+    "ParsedQuery",
+    "PointQuery",
+    "Predicate",
+    "Query",
+    "RangePredicate",
+    "RelationSketch",
+    "SNMPSource",
+    "SelfJoinQuery",
+    "StreamEngine",
+    "TruePredicate",
+    "Update",
+    "WindowedSketch",
+    "WindowedSketchSchema",
+    "census_like_pair",
+    "element_stream",
+    "feed_engine",
+    "est_multi_join_count",
+    "insert_delete_stream",
+    "iter_stream",
+    "parse_query",
+    "shifted_frequencies",
+    "shifted_zipf_pair",
+    "uniform_frequencies",
+    "validate_join_graph",
+    "zipf_frequencies",
+    "zipf_probabilities",
+]

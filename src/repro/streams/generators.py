@@ -1,0 +1,201 @@
+"""Workload generators for the paper's experimental data sets (Section 5.1).
+
+Synthetic experiments join a **Zipfian** stream with a **right-shifted
+Zipfian** stream over a domain of 256K values; the shift parameter is the
+paper's "knob" controlling the join size (shift 0 makes the join a
+self-join; larger shifts progressively de-align the heavy values of the
+two streams and shrink the join).  The real-life experiment joins two
+Census attributes (weekly wage vs. weekly wage overtime, domain 2**16,
+159,434 records); the CPS file is not redistributable, so
+:func:`census_like_pair` synthesises a pair of streams with the documented
+shape (see DESIGN.md, Substitutions).
+
+All generators are deterministic given their seed/rng and produce
+:class:`~repro.streams.model.FrequencyVector` ground truth; element-level
+streams (optionally with transient insert/delete churn) can be
+materialised from any frequency vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import FrequencyVector, Update, iter_stream
+
+
+def zipf_probabilities(domain_size: int, z: float) -> np.ndarray:
+    """Zipf(z) probability mass over ranks ``1..domain_size``.
+
+    ``pmf[r-1] = (1 / r**z) / H`` where ``H`` normalises.  ``z = 0`` is the
+    uniform distribution.  Domain value ``v`` is assigned rank ``v + 1``
+    (value 0 is the most frequent).
+    """
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+    if z < 0:
+        raise ValueError(f"zipf parameter must be non-negative, got {z}")
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = ranks**-z
+    return weights / weights.sum()
+
+
+def zipf_frequencies(
+    domain_size: int,
+    total: int,
+    z: float,
+    rng: np.random.Generator | None = None,
+) -> FrequencyVector:
+    """A Zipf(z) stream of ``total`` elements as a frequency vector.
+
+    With an ``rng``, counts are a multinomial draw (what sampling ``total``
+    i.i.d. elements produces — each trial differs, as in the paper's
+    repeated runs); without one, counts are the rounded expectations
+    (deterministic, exactly reproducible shape).
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    pmf = zipf_probabilities(domain_size, z)
+    if rng is None:
+        counts = np.floor(pmf * total)
+        # Distribute the rounding shortfall over the heaviest ranks so the
+        # stream has exactly `total` elements.
+        shortfall = int(total - counts.sum())
+        counts[:shortfall] += 1
+    else:
+        counts = rng.multinomial(total, pmf).astype(np.float64)
+    return FrequencyVector(counts)
+
+
+def shifted_frequencies(frequencies: FrequencyVector, shift: int) -> FrequencyVector:
+    """Right-shift a frequency vector by ``shift`` positions (cyclically).
+
+    This is the paper's "right-shifted Zipfian": the frequency of domain
+    value ``v + shift`` in the result equals the frequency of ``v`` in the
+    input, so the result has the same frequency *distribution* but its
+    heavy values are de-aligned from the input's by ``shift``.  The shift
+    wraps cyclically, preserving the stream size exactly.
+    """
+    if shift < 0:
+        raise ValueError(f"shift must be non-negative, got {shift}")
+    return FrequencyVector(np.roll(frequencies.counts, shift))
+
+
+def shifted_zipf_pair(
+    domain_size: int,
+    total: int,
+    z: float,
+    shift: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[FrequencyVector, FrequencyVector]:
+    """The paper's synthetic workload: (Zipf(z), right-shifted Zipf(z)).
+
+    With an ``rng``, the two streams are *independent* multinomial draws
+    from their respective distributions.
+    """
+    f = zipf_frequencies(domain_size, total, z, rng)
+    if rng is None:
+        g = shifted_frequencies(f, shift)
+    else:
+        g = shifted_frequencies(zipf_frequencies(domain_size, total, z, rng), shift)
+    return f, g
+
+
+def uniform_frequencies(
+    domain_size: int,
+    total: int,
+    rng: np.random.Generator | None = None,
+) -> FrequencyVector:
+    """A uniform stream of ``total`` elements (Zipf with ``z = 0``)."""
+    return zipf_frequencies(domain_size, total, 0.0, rng)
+
+
+def census_like_pair(
+    num_records: int = 159_434,
+    domain_size: int = 1 << 16,
+    seed: int = 0,
+) -> tuple[FrequencyVector, FrequencyVector]:
+    """Synthetic stand-in for the paper's Census CPS experiment.
+
+    Produces per-record pairs (weekly wage, weekly wage overtime) over
+    ``[0, domain_size)`` with the documented shape:
+
+    * wages: a log-normal body (median a few hundred dollars/week) with
+      ~45% of records on salaried round numbers (multiples of $50 — the
+      spikes that make real wage data skewed), a small zero mass, clipped
+      to the domain;
+    * overtime: zero for most records; otherwise a correlated fraction of
+      the record's wage, quantised to $5 steps (several dense values, not
+      one degenerate spike).
+
+    Returns the two attribute streams as frequency vectors; the join of
+    the two attributes (wage value = overtime value) matches records whose
+    overtime pay equals some other record's wage, exactly the query shape
+    of the paper's experiment.
+    """
+    if num_records < 1:
+        raise ValueError(f"num_records must be >= 1, got {num_records}")
+    rng = np.random.default_rng(seed)
+
+    wages = rng.lognormal(mean=np.log(600.0), sigma=0.8, size=num_records)
+    salaried = rng.random(num_records) < 0.45
+    wages = np.where(salaried, np.round(wages / 50.0) * 50.0, np.round(wages))
+    wages = np.clip(wages, 0, domain_size - 1).astype(np.int64)
+    wages[rng.random(num_records) < 0.03] = 0
+
+    overtime_share = rng.random(num_records) < 0.35
+    fractions = rng.uniform(0.05, 0.5, size=num_records)
+    overtime = np.where(
+        overtime_share, np.round(wages * fractions / 5.0) * 5.0, 0.0
+    )
+    overtime = np.clip(overtime, 0, domain_size - 1).astype(np.int64)
+
+    wage_stream = FrequencyVector.from_values(wages, domain_size)
+    overtime_stream = FrequencyVector.from_values(overtime, domain_size)
+    return wage_stream, overtime_stream
+
+
+def element_stream(
+    frequencies: FrequencyVector,
+    rng: np.random.Generator | None = None,
+) -> list[Update]:
+    """The frequency vector as a shuffled list of unit-weight updates."""
+    return list(iter_stream(frequencies, rng))
+
+
+def insert_delete_stream(
+    frequencies: FrequencyVector,
+    churn_fraction: float,
+    rng: np.random.Generator,
+) -> list[Update]:
+    """An update stream with transient churn whose *net* state is ``frequencies``.
+
+    In addition to the inserts realising the target vector, a further
+    ``churn_fraction * N`` random values are inserted and later deleted
+    (each transient value appears as one ``+1`` and one ``-1`` update, with
+    the delete always after its insert).  Feeding this stream to any linear
+    synopsis must leave it in exactly the state the plain insert stream
+    would — the E8 delete experiment and tests rely on this.
+    """
+    if churn_fraction < 0:
+        raise ValueError(f"churn_fraction must be non-negative, got {churn_fraction}")
+    base = element_stream(frequencies, rng)
+    num_churn = int(round(churn_fraction * frequencies.absolute_mass()))
+    if num_churn == 0:
+        return base
+    churn_values = rng.integers(0, frequencies.domain_size, size=num_churn)
+
+    # Lay the stream out slot by slot: sample 2 slots per churn pair, sort
+    # them, and use the earlier for the insert and the later for the delete
+    # (a delete must follow its insert); base updates fill the rest in
+    # order.  This is O(n log n), unlike repeated list insertion.
+    total = len(base) + 2 * num_churn
+    churn_slots = np.sort(rng.choice(total, size=2 * num_churn, replace=False))
+    stream: list[Update | None] = [None] * total
+    for pair, value in enumerate(churn_values):
+        stream[churn_slots[2 * pair]] = Update(int(value), 1.0)
+        stream[churn_slots[2 * pair + 1]] = Update(int(value), -1.0)
+    base_iter = iter(base)
+    for slot in range(total):
+        if stream[slot] is None:
+            stream[slot] = next(base_iter)
+    return stream  # type: ignore[return-value]

@@ -1,0 +1,222 @@
+"""Stream data model (Section 2.1 of the paper).
+
+A data stream is an unordered sequence of *updates* over an integer domain
+``[0, domain_size)``.  Each update carries a weight: ``+1`` for an insert,
+``-1`` for a delete, and arbitrary values for weighted (``SUM``) semantics.
+The net state of a stream at any point is its **frequency vector**
+``f[v] = sum of weights of updates with value v``, and every aggregate the
+library answers is a function of frequency vectors — e.g.
+``COUNT(F join G) = <f, g>``, the inner product.
+
+:class:`FrequencyVector` is the exact, in-memory representation used for
+ground truth, workload generation, and the vectorised bulk-ingestion path
+of the sketches.  :class:`Update` / :func:`iter_stream` model the
+one-pass per-element view the paper's synopses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import DomainError
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """A single stream element: domain ``value`` with additive ``weight``.
+
+    ``weight=+1`` models an insertion, ``weight=-1`` a deletion; other
+    weights model measure values for SUM-style aggregates (the paper
+    reduces ``SUM_m(F join G)`` to a COUNT over a weight-expanded stream).
+    """
+
+    value: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise DomainError(f"stream values must be non-negative, got {self.value}")
+
+
+class FrequencyVector:
+    """Dense exact frequency vector over ``[0, domain_size)``.
+
+    A thin, validating wrapper around a ``float64`` numpy array with the
+    joint/self-join algebra used throughout the paper:
+
+    * ``join_size(other)`` — the inner product ``<f, g>`` =
+      ``COUNT(F join G)``;
+    * ``self_join_size()`` — the second moment ``F2 = sum f[v]^2``;
+    * arithmetic (``+``, ``-``) for building residual vectors when testing
+      the skimming machinery.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: np.ndarray | Sequence[float]):
+        arr = np.asarray(counts, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"frequency vector must be 1-D, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ValueError("frequency vector must cover a non-empty domain")
+        self._counts = arr.copy()
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def zeros(cls, domain_size: int) -> "FrequencyVector":
+        """Empty-stream frequency vector over ``[0, domain_size)``."""
+        if domain_size < 1:
+            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+        return cls(np.zeros(domain_size))
+
+    @classmethod
+    def from_updates(cls, updates: Iterable[Update], domain_size: int) -> "FrequencyVector":
+        """Aggregate a finite update stream into its frequency vector."""
+        vec = cls.zeros(domain_size)
+        for update in updates:
+            vec.apply(update)
+        return vec
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[int] | np.ndarray, domain_size: int
+    ) -> "FrequencyVector":
+        """Frequency vector of a plain insert-only element sequence."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= domain_size):
+            raise DomainError("values fall outside [0, domain_size)")
+        counts = np.bincount(values, minlength=domain_size).astype(np.float64)
+        return cls(counts)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the value domain the vector is defined over."""
+        return int(self._counts.size)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Read-only view of the underlying ``float64`` counts."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+    def __getitem__(self, value: int) -> float:
+        return float(self._counts[value])
+
+    def __len__(self) -> int:
+        return self.domain_size
+
+    def copy(self) -> "FrequencyVector":
+        """An independent copy (mutating it leaves ``self`` unchanged)."""
+        return FrequencyVector(self._counts)
+
+    # -- stream-side mutation ----------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Apply one stream update in place."""
+        if update.value >= self.domain_size:
+            raise DomainError(
+                f"value {update.value} outside domain [0, {self.domain_size})"
+            )
+        self._counts[update.value] += update.weight
+
+    def apply_bulk(self, values: np.ndarray, weights: np.ndarray | None = None) -> None:
+        """Apply many updates at once (vectorised ``bincount`` accumulate)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return
+        if values.min() < 0 or values.max() >= self.domain_size:
+            raise DomainError("values fall outside [0, domain_size)")
+        if weights is None:
+            add = np.bincount(values, minlength=self.domain_size)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != values.shape:
+                raise ValueError("weights must have the same shape as values")
+            add = np.bincount(values, weights=weights, minlength=self.domain_size)
+        self._counts += add
+
+    # -- aggregates ---------------------------------------------------------
+
+    def total_count(self) -> float:
+        """Net stream size ``N = sum f[v]`` (paper's ``|F|`` for insert-only)."""
+        return float(self._counts.sum())
+
+    def absolute_mass(self) -> float:
+        """``sum |f[v]|`` — the L1 norm, equal to ``N`` for insert-only streams."""
+        return float(np.abs(self._counts).sum())
+
+    def self_join_size(self) -> float:
+        """Second moment ``F2 = sum f[v]^2`` (self-join size, Section 2.2)."""
+        return float(np.dot(self._counts, self._counts))
+
+    def join_size(self, other: "FrequencyVector") -> float:
+        """Exact ``COUNT(F join G) = <f, g>`` (requires equal domains)."""
+        if other.domain_size != self.domain_size:
+            raise ValueError(
+                f"domain mismatch: {self.domain_size} vs {other.domain_size}"
+            )
+        return float(np.dot(self._counts, other._counts))
+
+    def support(self) -> np.ndarray:
+        """Domain values with non-zero frequency, ascending ``int64`` array."""
+        return np.flatnonzero(self._counts).astype(np.int64)
+
+    def nonzero_items(self) -> Iterator[tuple[int, float]]:
+        """Iterate ``(value, frequency)`` pairs over the support."""
+        for value in self.support():
+            yield int(value), float(self._counts[value])
+
+    # -- algebra --------------------------------------------------------------
+
+    def __add__(self, other: "FrequencyVector") -> "FrequencyVector":
+        if other.domain_size != self.domain_size:
+            raise ValueError("domain mismatch")
+        return FrequencyVector(self._counts + other._counts)
+
+    def __sub__(self, other: "FrequencyVector") -> "FrequencyVector":
+        if other.domain_size != self.domain_size:
+            raise ValueError("domain mismatch")
+        return FrequencyVector(self._counts - other._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyVector):
+            return NotImplemented
+        return np.array_equal(self._counts, other._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencyVector(domain_size={self.domain_size}, "
+            f"N={self.total_count():g}, F2={self.self_join_size():g})"
+        )
+
+
+def iter_stream(
+    frequencies: FrequencyVector,
+    rng: np.random.Generator | None = None,
+) -> Iterator[Update]:
+    """Materialise a frequency vector as a one-pass insert/delete stream.
+
+    Emits ``|f[v]|`` unit-weight updates per value (sign matching the
+    frequency sign); if ``rng`` is given the updates are shuffled so the
+    arrival order is arbitrary, as the stream model requires.  Fractional
+    frequencies are emitted as one weighted update.  Useful for testing
+    that per-element sketch maintenance matches bulk ingestion.
+    """
+    updates: list[Update] = []
+    for value, freq in frequencies.nonzero_items():
+        whole, frac = int(freq), freq - int(freq)
+        sign = 1.0 if whole >= 0 else -1.0
+        updates.extend(Update(value, sign) for _ in range(abs(whole)))
+        if frac:
+            updates.append(Update(value, frac))
+    if rng is not None:
+        order = rng.permutation(len(updates))
+        updates = [updates[i] for i in order]
+    yield from updates

@@ -1,0 +1,135 @@
+"""Stream query model: ``AGG(F join G)`` with selection predicates (§2.1).
+
+The paper's query class is ``AGG(F join G)`` where AGG is COUNT, SUM or
+AVERAGE; SUM reduces to COUNT over a measure-weighted stream, AVERAGE is
+SUM/COUNT, and "selection predicates can easily be incorporated ... we
+simply drop from the streams elements that do not satisfy the predicates
+(prior to updating the synopses)".  This module gives those queries a
+small, typed AST that :class:`~repro.streams.engine.StreamEngine`
+evaluates against its registered synopses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet
+
+from ..errors import QueryError
+
+
+class Predicate:
+    """A selection predicate applied to stream values before sketching."""
+
+    def accepts(self, value: int) -> bool:
+        """True if elements with this value pass the selection."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Accepts everything (the default, no selection)."""
+
+    def accepts(self, value: int) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """Accepts values in the half-open interval ``[low, high)``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise QueryError(f"empty range predicate [{self.low}, {self.high})")
+
+    def accepts(self, value: int) -> bool:
+        return self.low <= value < self.high
+
+
+@dataclass(frozen=True)
+class InSetPredicate(Predicate):
+    """Accepts values from an explicit set."""
+
+    values: FrozenSet[int]
+
+    def accepts(self, value: int) -> bool:
+        return value in self.values
+
+
+@dataclass(frozen=True)
+class FunctionPredicate(Predicate):
+    """Accepts values for which ``function(value)`` is truthy."""
+
+    function: Callable[[int], bool]
+
+    def accepts(self, value: int) -> bool:
+        return bool(self.function(value))
+
+
+class Query:
+    """Marker base class for queries the stream engine answers."""
+
+
+@dataclass(frozen=True)
+class JoinCountQuery(Query):
+    """``COUNT(left join right)`` — the paper's headline query."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class JoinSumQuery(Query):
+    """``SUM_measure(left join right)``.
+
+    ``measure_stream`` names a registered *weighted* stream carrying the
+    same values as ``left`` but with each element's measure as its update
+    weight; the paper's reduction makes the answer
+    ``<measure-weighted left, right>``.
+    """
+
+    left: str
+    right: str
+    measure_stream: str
+
+
+@dataclass(frozen=True)
+class JoinAverageQuery(Query):
+    """``AVERAGE_measure(left join right)`` = JoinSum / JoinCount."""
+
+    left: str
+    right: str
+    measure_stream: str
+
+
+@dataclass(frozen=True)
+class SelfJoinQuery(Query):
+    """``COUNT(stream join stream)`` — the second moment F2 (§2.2)."""
+
+    stream: str
+
+
+@dataclass(frozen=True)
+class PointQuery(Query):
+    """Estimated frequency of one domain value in a stream."""
+
+    stream: str
+    value: int
+
+
+@dataclass(frozen=True)
+class MultiJoinCountQuery(Query):
+    """``COUNT(R1 join R2 join ... join Rk)`` over registered relations.
+
+    Relations are multi-attribute streams registered through
+    :meth:`~repro.streams.engine.StreamEngine.register_relation`; every
+    join attribute must appear in exactly two of the named relations.
+    """
+
+    relations: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.relations) < 2:
+            raise QueryError("a multi-join needs at least two relations")

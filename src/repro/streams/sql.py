@@ -1,0 +1,297 @@
+"""A small SQL front-end for the paper's stream query class (§2.1).
+
+The engine's typed AST (:mod:`repro.streams.query`) is the real interface;
+this module adds the textual form a console or dashboard would speak.  The
+accepted grammar covers exactly the aggregates the paper studies — nothing
+more, by design:
+
+.. code-block:: sql
+
+    SELECT COUNT(*)        FROM f JOIN g
+    SELECT SUM(f_rev)      FROM f JOIN g            -- measure stream f_rev
+    SELECT AVG(f_rev)      FROM f JOIN g
+    SELECT COUNT(*)        FROM f JOIN f            -- self-join (F2)
+    SELECT FREQ(42)        FROM f                   -- point frequency
+    SELECT COUNT(*)        FROM r1 JOIN r2 JOIN r3  -- multi-join relations
+    SELECT COUNT(*)        FROM f JOIN g WHERE f < 100 AND g >= 10
+
+``WHERE`` clauses compile to selection predicates on the named streams'
+*values* (the streams are single-attribute, so ``f < 100`` filters stream
+``f``).  Predicates are returned alongside the query because the stream
+model applies them at *ingestion* time ("we simply drop ... elements that
+do not satisfy the predicates, prior to updating the synopses"), so they
+must be registered before elements flow — a parsed query's predicates are
+advisory metadata for engine setup, not a post-hoc filter.
+
+Grammar (case-insensitive keywords)::
+
+    query     := SELECT agg FROM sources [WHERE conditions]
+    agg       := COUNT(*) | SUM(name) | AVG(name) | FREQ(integer)
+    sources   := name (JOIN name)*
+    conditions:= condition (AND condition)*
+    condition := name op integer
+    op        := < | <= | > | >= | = | !=
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import QueryError
+from .query import (
+    FunctionPredicate,
+    JoinAverageQuery,
+    JoinCountQuery,
+    JoinSumQuery,
+    MultiJoinCountQuery,
+    PointQuery,
+    Predicate,
+    Query,
+    RangePredicate,
+    SelfJoinQuery,
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<keyword>(?i:SELECT|FROM|JOIN|WHERE|AND|COUNT|SUM|AVG|FREQ)\b)
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<|>|=)
+  | (?P<punct>[(),*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SELECT", "FROM", "JOIN", "WHERE", "AND", "COUNT", "SUM", "AVG", "FREQ"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split a query string into tokens; raises :class:`QueryError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            value = match.group()
+            if kind == "keyword":
+                value = value.upper()
+            tokens.append(Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A compiled query plus per-stream ingestion predicates.
+
+    ``predicates`` maps stream names to the selection predicate their
+    ``WHERE`` conditions imply; register streams with these predicates
+    *before* feeding elements (see module docstring).
+    """
+
+    query: Query
+    predicates: dict[str, Predicate] = field(default_factory=dict)
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            raise QueryError(
+                f"expected {expected!r} at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def _expect_name(self) -> str:
+        token = self._advance()
+        if token.kind != "name":
+            raise QueryError(
+                f"expected a stream name at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token.text
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self._expect("keyword", "SELECT")
+        aggregate, argument = self._parse_aggregate()
+        self._expect("keyword", "FROM")
+        sources = self._parse_sources()
+        conditions = self._parse_where()
+        if self._peek() is not None:
+            trailing = self._peek()
+            raise QueryError(
+                f"trailing input at offset {trailing.position}: {trailing.text!r}"
+            )
+        query = self._build_query(aggregate, argument, sources)
+        return ParsedQuery(query=query, predicates=self._build_predicates(conditions))
+
+    def _parse_aggregate(self) -> tuple[str, str]:
+        token = self._advance()
+        if token.kind != "keyword" or token.text not in ("COUNT", "SUM", "AVG", "FREQ"):
+            raise QueryError(
+                f"expected an aggregate at offset {token.position}, "
+                f"got {token.text!r}"
+            )
+        self._expect("punct", "(")
+        if token.text == "COUNT":
+            self._expect("punct", "*")
+            argument = "*"
+        elif token.text == "FREQ":
+            argument = self._expect("number").text
+        else:
+            argument = self._expect_name()
+        self._expect("punct", ")")
+        return token.text, argument
+
+    def _parse_sources(self) -> list[str]:
+        sources = [self._expect_name()]
+        while True:
+            token = self._peek()
+            if token is None or token.text != "JOIN":
+                return sources
+            self._advance()
+            sources.append(self._expect_name())
+
+    def _parse_where(self) -> list[tuple[str, str, int]]:
+        token = self._peek()
+        if token is None or token.text != "WHERE":
+            return []
+        self._advance()
+        conditions = [self._parse_condition()]
+        while True:
+            token = self._peek()
+            if token is None or token.text != "AND":
+                return conditions
+            self._advance()
+            conditions.append(self._parse_condition())
+
+    def _parse_condition(self) -> tuple[str, str, int]:
+        name = self._expect_name()
+        op = self._advance()
+        if op.kind != "op":
+            raise QueryError(
+                f"expected a comparison at offset {op.position}, got {op.text!r}"
+            )
+        value = int(self._expect("number").text)
+        return name, op.text, value
+
+    # -- compilation -----------------------------------------------------------
+
+    def _build_query(self, aggregate: str, argument: str, sources: list[str]) -> Query:
+        if aggregate == "FREQ":
+            if len(sources) != 1:
+                raise QueryError("FREQ takes exactly one stream")
+            return PointQuery(sources[0], int(argument))
+        if len(sources) < 2:
+            raise QueryError(f"{aggregate} needs a join (FROM f JOIN g)")
+        if aggregate == "COUNT":
+            if len(sources) == 2:
+                if sources[0] == sources[1]:
+                    return SelfJoinQuery(sources[0])
+                return JoinCountQuery(sources[0], sources[1])
+            return MultiJoinCountQuery(relations=tuple(sources))
+        if len(sources) != 2:
+            raise QueryError(f"{aggregate} supports exactly two streams")
+        if aggregate == "SUM":
+            return JoinSumQuery(sources[0], sources[1], measure_stream=argument)
+        return JoinAverageQuery(sources[0], sources[1], measure_stream=argument)
+
+    def _build_predicates(
+        self, conditions: list[tuple[str, str, int]]
+    ) -> dict[str, Predicate]:
+        grouped: dict[str, list[tuple[str, int]]] = {}
+        for name, op, value in conditions:
+            grouped.setdefault(name, []).append((op, value))
+        return {
+            name: _compile_conditions(name, ops) for name, ops in grouped.items()
+        }
+
+
+#: Upper bound used to express one-sided ranges as RangePredicate.
+_UNBOUNDED = 1 << 62
+
+
+def _compile_conditions(name: str, ops: list[tuple[str, int]]) -> Predicate:
+    """AND-combine comparisons on one stream into a single predicate.
+
+    Pure range conjunctions compile to a :class:`RangePredicate`; anything
+    involving ``=`` / ``!=`` falls back to a function predicate.
+    """
+    low, high = 0, _UNBOUNDED
+    leftovers: list[tuple[str, int]] = []
+    for op, value in ops:
+        if op == "<":
+            high = min(high, value)
+        elif op == "<=":
+            high = min(high, value + 1)
+        elif op == ">":
+            low = max(low, value + 1)
+        elif op == ">=":
+            low = max(low, value)
+        else:
+            leftovers.append((op, value))
+    if low >= high:
+        raise QueryError(f"conditions on {name!r} are unsatisfiable")
+    if not leftovers:
+        return RangePredicate(low, high)
+
+    def accepts(value: int, low=low, high=high, leftovers=tuple(leftovers)) -> bool:
+        if not low <= value < high:
+            return False
+        for op, bound in leftovers:
+            if op == "=" and value != bound:
+                return False
+            if op == "!=" and value == bound:
+                return False
+        return True
+
+    return FunctionPredicate(accepts)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse one SQL-subset query string into a typed query + predicates."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens, text).parse()

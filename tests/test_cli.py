@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro.eval`` experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_example1_runs(self, capsys):
+        assert main(["example1"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement_factor" in out
+        assert "took" in out
+
+    def test_dyadic_cost_runs(self, capsys):
+        assert main(["dyadic-cost"]) == 0
+        assert "saving_factor" in capsys.readouterr().out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["example1", "example1"]) == 0
+        assert capsys.readouterr().out.count("== example1 ==") == 2
+
+    def test_trials_flag_parses(self, capsys):
+        assert main(["example1", "--trials", "2"]) == 0
+
+
+class TestFigureOutput:
+    def test_figure5_output_includes_table_and_chart(self):
+        from repro.eval.__main__ import _figure5_output
+        from repro.eval.figures import ExperimentScale, run_figure5
+        from repro.eval.runner import SweepConfig
+
+        tiny = ExperimentScale(
+            domain_size=1 << 10,
+            stream_total=10_000,
+            sweep=SweepConfig(
+                widths=(32,), depths=(3,), space_budgets=(96,), trials=1, seed=1
+            ),
+            label="tiny",
+        )
+        results = run_figure5(1.0, (5,), tiny, methods=("skimmed",))
+        text = _figure5_output("Figure 5 (tiny)", results)
+        assert "space (words)" in text  # the table
+        assert "x = skimmed s=5" in text  # the chart legend

@@ -1,0 +1,116 @@
+"""Tests for the COUNTSKETCH top-k heavy-hitter tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.countsketch import TopKSketch
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.streams.generators import zipf_frequencies
+from repro.streams.model import iter_stream
+
+DOMAIN = 512
+
+
+def make_tracker(k=8, width=64, depth=5, seed=0):
+    return TopKSketch(HashSketchSchema(width, depth, DOMAIN, seed=seed), k=k)
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_tracker(k=0)
+
+    def test_single_heavy_value(self):
+        tracker = make_tracker(k=1)
+        for _ in range(20):
+            tracker.update(7)
+        tracker.update(3)
+        top = tracker.top_k()
+        assert top[0][0] == 7
+        assert top[0][1] == pytest.approx(20.0, abs=3.0)
+
+    def test_top_k_size_bounded(self):
+        tracker = make_tracker(k=3)
+        for value in range(50):
+            tracker.update(value)
+        assert len(tracker.top_k()) <= 3
+        assert len(tracker.candidates()) <= 3
+
+    def test_sorted_by_estimate(self):
+        tracker = make_tracker(k=4, width=128)
+        for value, count in ((1, 30), (2, 20), (3, 10), (4, 5)):
+            for _ in range(count):
+                tracker.update(value)
+        values = [v for v, _ in tracker.top_k()]
+        assert values == [1, 2, 3, 4]
+
+    def test_size_accounting(self):
+        tracker = make_tracker(k=8, width=64, depth=5)
+        assert tracker.size_in_counters() == 64 * 5 + 16
+        assert tracker.seed_words() > 0
+
+
+class TestStreamBehaviour:
+    def test_recovers_zipf_heavy_hitters(self):
+        freqs = zipf_frequencies(DOMAIN, 20_000, 1.3)
+        tracker = make_tracker(k=8, width=256, depth=5, seed=3)
+        tracker.ingest_frequency_vector(freqs)
+        assert tracker.recall_against(freqs) >= 0.75
+
+    def test_update_bulk_covers_same_candidates(self):
+        freqs = zipf_frequencies(DOMAIN, 5_000, 1.5)
+        stream = list(iter_stream(freqs, np.random.default_rng(0)))
+        values = np.asarray([u.value for u in stream])
+
+        by_element = make_tracker(k=5, width=256, depth=5, seed=4)
+        for update in stream:
+            by_element.update(update.value, update.weight)
+        by_bulk = make_tracker(k=5, width=256, depth=5, seed=4)
+        by_bulk.update_bulk(values)
+
+        top_element = {v for v, _ in by_element.top_k()}
+        top_bulk = {v for v, _ in by_bulk.top_k()}
+        # Same sketch state; candidate sets may differ slightly in ties but
+        # the dominant heavy hitters must agree.
+        assert len(top_element & top_bulk) >= 4
+
+    def test_deletion_demotes_value(self):
+        tracker = make_tracker(k=2, width=128, depth=5, seed=5)
+        for _ in range(30):
+            tracker.update(1)
+        for _ in range(10):
+            tracker.update(2)
+        for _ in range(25):
+            tracker.update(1, -1.0)  # 1 drops to frequency 5
+        for _ in range(12):
+            tracker.update(3)
+        top_values = [v for v, _ in tracker.top_k()]
+        assert top_values[0] in (2, 3)
+
+    def test_empty_bulk_is_noop(self):
+        tracker = make_tracker()
+        tracker.update_bulk(np.zeros(0, dtype=np.int64))
+        assert tracker.top_k() == []
+
+    def test_recall_of_empty_truth_is_one(self):
+        from repro.streams.model import FrequencyVector
+
+        tracker = make_tracker()
+        assert tracker.recall_against(FrequencyVector.zeros(DOMAIN)) == 1.0
+
+
+class TestHeapRobustness:
+    def test_many_updates_keep_floor_consistent(self):
+        """Stale heap entries must never evict a live larger candidate."""
+        tracker = make_tracker(k=4, width=256, depth=5, seed=6)
+        rng = np.random.default_rng(7)
+        heavy = [1, 2, 3, 4]
+        for _ in range(400):
+            value = int(rng.choice(heavy)) if rng.random() < 0.8 else int(
+                rng.integers(10, DOMAIN)
+            )
+            tracker.update(value)
+        top_values = {v for v, _ in tracker.top_k()}
+        assert set(heavy) == top_values

@@ -1,0 +1,80 @@
+"""Tests for the synopsis health diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SkimmedSketchSchema
+from repro.eval.diagnostics import sketch_health
+from repro.streams.generators import uniform_frequencies, zipf_frequencies
+
+DOMAIN = 1 << 11
+
+
+def make_sketch(freqs=None, dyadic=False, width=256, depth=7):
+    schema = SkimmedSketchSchema(width, depth, DOMAIN, seed=5, dyadic=dyadic)
+    sketch = schema.create_sketch()
+    if freqs is not None:
+        sketch.ingest_frequency_vector(freqs)
+    return sketch
+
+
+class TestSketchHealth:
+    def test_empty_sketch(self):
+        report = sketch_health(make_sketch())
+        assert report.stream_size == 0.0
+        assert report.dense_value_count == 0
+        assert report.skew_score == 0.0
+        assert report.recommended_width is None
+
+    def test_uniform_stream_has_low_skew_score(self):
+        report = sketch_health(make_sketch(uniform_frequencies(DOMAIN, 50_000)))
+        assert report.skew_score == pytest.approx(1.0, rel=0.3)
+
+    def test_skewed_stream_has_high_skew_score(self):
+        report = sketch_health(make_sketch(zipf_frequencies(DOMAIN, 50_000, 1.4)))
+        assert report.skew_score > 50.0
+        assert report.dense_value_count >= 1
+        assert 0.0 < report.dense_mass_fraction <= 1.0
+
+    def test_threshold_matches_formula(self):
+        sketch = make_sketch(zipf_frequencies(DOMAIN, 40_000, 1.2))
+        report = sketch_health(sketch)
+        assert report.skim_threshold == pytest.approx(40_000 / 16.0)
+
+    def test_sizing_recommendation(self):
+        sketch = make_sketch(zipf_frequencies(DOMAIN, 10_000, 1.0))
+        report = sketch_health(
+            sketch, target_error=0.1, target_join_size=1e7
+        )
+        assert report.recommended_width == int(np.ceil(1e8 / 1e6))
+
+    def test_sizing_validation(self):
+        sketch = make_sketch()
+        with pytest.raises(ValueError):
+            sketch_health(sketch, target_error=0.0, target_join_size=1.0)
+
+    def test_dyadic_mode_inspected_via_base(self):
+        report = sketch_health(
+            make_sketch(zipf_frequencies(DOMAIN, 20_000, 1.3), dyadic=True)
+        )
+        assert report.stream_size == pytest.approx(20_000)
+
+    def test_describe_mentions_key_fields(self):
+        report = sketch_health(
+            make_sketch(zipf_frequencies(DOMAIN, 50_000, 1.4)),
+            target_error=0.1,
+            target_join_size=1e8,
+        )
+        text = report.describe()
+        for token in ("stream size", "skew score", "skim threshold", "sizing"):
+            assert token in text
+
+    def test_describe_flags_undersized(self):
+        report = sketch_health(
+            make_sketch(zipf_frequencies(DOMAIN, 100_000, 1.0), width=32),
+            target_error=0.01,
+            target_join_size=1e6,
+        )
+        assert "undersized" in report.describe()

@@ -1,0 +1,86 @@
+"""Meta-tests: every public item in the library carries a docstring.
+
+Documentation is a deliverable, not a hope; this test walks the package
+and fails on any public module, class, function or method without one.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+#: Dunder/infra methods that inherit well-known semantics.
+_EXEMPT_METHODS = {
+    "__init__",  # documented via the class docstring's Parameters section
+    "__repr__",
+    "__eq__",
+    "__hash__",
+    "__len__",
+    "__getitem__",
+    "__add__",
+    "__sub__",
+    "__post_init__",
+    "__str__",
+}
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _is_local(obj, module) -> bool:
+    return getattr(obj, "__module__", None) == module.__name__
+
+
+def test_all_modules_have_docstrings():
+    missing = [m.__name__ for m in _iter_modules() if not inspect.getdoc(m)]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_all_public_classes_and_functions_have_docstrings():
+    missing: list[str] = []
+    for module in _iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not _is_local(obj, module):
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"public items without docstrings: {missing}"
+
+
+def test_all_public_methods_have_docstrings():
+    missing: list[str] = []
+    for module in _iter_modules():
+        for class_name, cls in vars(module).items():
+            if class_name.startswith("_") or not inspect.isclass(cls):
+                continue
+            if not _is_local(cls, module):
+                continue
+            for method_name, method in vars(cls).items():
+                if method_name.startswith("_") and method_name not in _EXEMPT_METHODS:
+                    continue
+                if method_name in _EXEMPT_METHODS:
+                    continue
+                is_callable = inspect.isfunction(method) or isinstance(
+                    method, (property, staticmethod, classmethod)
+                )
+                if not is_callable:
+                    continue
+                target = method.fget if isinstance(method, property) else method
+                if not inspect.getdoc(target):
+                    missing.append(f"{module.__name__}.{class_name}.{method_name}")
+    assert not missing, f"public methods without docstrings: {missing}"
+
+
+def test_public_api_exports_resolve():
+    """Every name in a package's __all__ actually exists."""
+    for module in _iter_modules():
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists {name}"

@@ -1,0 +1,202 @@
+"""Tests for the dyadic-interval sketch hierarchy (§4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IncompatibleSketchError
+from repro.sketches.dyadic import DyadicHashSketch, DyadicSketchSchema
+from repro.streams.model import FrequencyVector
+
+DOMAIN = 1 << 12  # 4096
+
+
+def make_schema(width=64, depth=5, seed=0, coarse_cutoff=64):
+    return DyadicSketchSchema(
+        width, depth, DOMAIN, seed=seed, coarse_cutoff=coarse_cutoff
+    )
+
+
+class TestSchema:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            DyadicSketchSchema(8, 3, 1000)
+
+    def test_rejects_tiny_cutoff(self):
+        with pytest.raises(ValueError):
+            DyadicSketchSchema(8, 3, DOMAIN, coarse_cutoff=1)
+
+    def test_level_domains_halve(self):
+        schema = make_schema(coarse_cutoff=64)
+        assert schema.level_domains[0] == DOMAIN
+        for a, b in zip(schema.level_domains, schema.level_domains[1:]):
+            assert b == a // 2
+        assert schema.level_domains[-1] <= 64
+
+    def test_compatibility(self):
+        a = make_schema(seed=1)
+        assert a.is_compatible(make_schema(seed=1))
+        assert not a.is_compatible(make_schema(seed=2))
+
+
+class TestMaintenance:
+    def test_update_reaches_every_level(self):
+        schema = make_schema()
+        sketch = schema.create_sketch()
+        sketch.update(3000)
+        for level in range(schema.num_levels):
+            assert (sketch.level_sketch(level).counters != 0).any()
+
+    def test_levels_aggregate_dyadic_intervals(self):
+        """Level-l frequency of v>>l equals the interval's total frequency."""
+        schema = make_schema(width=256, depth=7)
+        sketch = schema.create_sketch()
+        # Values 8..15 form one level-3 dyadic interval.
+        for value in range(8, 16):
+            sketch.update(value, 2.0)
+        level3 = sketch.level_sketch(3)
+        assert level3.point_estimate(1) == pytest.approx(16.0)
+
+    def test_update_bulk_matches_element_updates(self):
+        schema = make_schema(seed=3)
+        values = np.random.default_rng(0).integers(0, DOMAIN, 200)
+        bulk = schema.create_sketch()
+        bulk.update_bulk(values)
+        loop = schema.create_sketch()
+        for v in values:
+            loop.update(int(v))
+        for level in range(schema.num_levels):
+            assert np.allclose(
+                bulk.level_sketch(level).counters,
+                loop.level_sketch(level).counters,
+            )
+
+    def test_size_sums_levels(self):
+        schema = make_schema(width=32, depth=3)
+        sketch = schema.create_sketch()
+        assert sketch.size_in_counters() == 32 * 3 * schema.num_levels
+
+
+class TestHeavyValues:
+    def test_finds_planted_heavy_values(self):
+        schema = make_schema(width=256, depth=7, seed=4)
+        counts = np.zeros(DOMAIN)
+        heavy = [5, 100, 2048, 4095]
+        for value in heavy:
+            counts[value] = 500.0
+        tail = np.random.default_rng(1).choice(DOMAIN, 500, replace=False)
+        counts[tail] += 1.0
+        sketch = schema.sketch_of(FrequencyVector(counts))
+        found = sketch.heavy_values(250.0)
+        assert set(heavy) <= set(found.tolist())
+        # No wild over-reporting: light values do not pass the threshold.
+        assert len(found) <= len(heavy) + 2
+
+    def test_empty_sketch_returns_nothing(self):
+        schema = make_schema()
+        assert schema.create_sketch().heavy_values(1.0).size == 0
+
+    def test_rejects_non_positive_threshold(self):
+        schema = make_schema()
+        with pytest.raises(ValueError):
+            schema.create_sketch().heavy_values(0.0)
+
+    def test_descent_cost_below_flat_scan(self):
+        schema = make_schema(width=256, depth=5, seed=5)
+        counts = np.zeros(DOMAIN)
+        counts[[7, 77, 777]] = 300.0
+        sketch = schema.sketch_of(FrequencyVector(counts))
+        cost = sketch.estimated_descent_cost(150.0)
+        assert cost < DOMAIN / 4
+
+
+class TestRangeEstimate:
+    def test_exact_on_isolated_mass(self):
+        schema = make_schema(width=256, depth=7, seed=20)
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([100] * 50 + [200] * 30))
+        assert sketch.range_estimate(100, 201) == pytest.approx(80.0, abs=5.0)
+        assert sketch.range_estimate(101, 200) == pytest.approx(0.0, abs=5.0)
+
+    def test_full_domain_equals_stream_size(self):
+        schema = make_schema(width=256, depth=7, seed=21)
+        sketch = schema.create_sketch()
+        values = np.random.default_rng(5).integers(0, DOMAIN, 2_000)
+        sketch.update_bulk(values)
+        assert sketch.range_estimate(0, DOMAIN) == pytest.approx(2_000.0, rel=0.1)
+
+    def test_accuracy_on_broad_range(self):
+        """Dyadic decomposition keeps error logarithmic in range length."""
+        schema = make_schema(width=256, depth=7, seed=22)
+        counts = np.zeros(DOMAIN)
+        rng = np.random.default_rng(6)
+        chosen = rng.choice(DOMAIN, 800, replace=False)
+        counts[chosen] = rng.integers(1, 20, size=800)
+        freqs = FrequencyVector(counts)
+        sketch = schema.sketch_of(freqs)
+        low, high = 123, 3456
+        exact = float(counts[low:high].sum())
+        assert sketch.range_estimate(low, high) == pytest.approx(exact, rel=0.2)
+
+    def test_validation(self):
+        schema = make_schema()
+        sketch = schema.create_sketch()
+        with pytest.raises(ValueError):
+            sketch.range_estimate(5, 5)
+        with pytest.raises(ValueError):
+            sketch.range_estimate(-1, 5)
+        with pytest.raises(ValueError):
+            sketch.range_estimate(0, DOMAIN + 1)
+
+    def test_singleton_range_is_point_estimate(self):
+        schema = make_schema(seed=23)
+        sketch = schema.create_sketch()
+        sketch.update(77, 9.0)
+        assert sketch.range_estimate(77, 78) == pytest.approx(
+            sketch.base_sketch.point_estimate(77)
+        )
+
+
+class TestLinearity:
+    def test_subtract_updates_all_levels(self):
+        schema = make_schema(width=128, depth=5, seed=6)
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([100] * 50))
+        sketch.subtract_frequencies(np.asarray([100]), np.asarray([50.0]))
+        for level in range(schema.num_levels):
+            assert np.allclose(sketch.level_sketch(level).counters, 0.0)
+
+    def test_merge(self):
+        schema = make_schema(seed=7)
+        a, b = schema.create_sketch(), schema.create_sketch()
+        a.update(1)
+        b.update(2)
+        merged = a.merged_with(b)
+        direct = schema.create_sketch()
+        direct.update(1)
+        direct.update(2)
+        for level in range(schema.num_levels):
+            assert np.allclose(
+                merged.level_sketch(level).counters,
+                direct.level_sketch(level).counters,
+            )
+
+    def test_copy_independent(self):
+        schema = make_schema(seed=8)
+        sketch = schema.create_sketch()
+        sketch.update(5)
+        clone = sketch.copy()
+        clone.update(9)
+        assert clone.absolute_mass != sketch.absolute_mass
+
+    def test_incompatible_merge_rejected(self):
+        a = make_schema(seed=1).create_sketch()
+        b = make_schema(seed=2).create_sketch()
+        with pytest.raises(IncompatibleSketchError):
+            a.merged_with(b)
+
+    def test_base_sketch_is_level_zero(self):
+        schema = make_schema()
+        sketch = schema.create_sketch()
+        assert sketch.base_sketch is sketch.level_sketch(0)

@@ -1,0 +1,105 @@
+"""Tests for the a-posteriori error-bound reporting (Theorems 2 and 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.skimmed_join import est_skim_join_size
+from repro.sketches.agms import AGMSSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.streams.generators import shifted_zipf_pair
+
+DOMAIN = 1 << 12
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return shifted_zipf_pair(DOMAIN, 80_000, 1.2, 10)
+
+
+class TestAGMSBound:
+    def test_bound_formula(self):
+        """Single common value: SJ estimates are exact, so the bound is
+        exactly 2 sqrt(f^2 g^2 / averaging)."""
+        schema = AGMSSchema(16, 5, DOMAIN, seed=0)
+        f, g = schema.create_sketch(), schema.create_sketch()
+        f.update(3, 10.0)
+        g.update(3, 20.0)
+        assert f.join_error_bound(g) == pytest.approx(
+            2.0 * np.sqrt(100.0 * 400.0 / 16.0)
+        )
+
+    def test_bound_covers_actual_error(self, workload):
+        f, g = workload
+        actual = f.join_size(g)
+        covered = 0
+        for seed in range(5):
+            schema = AGMSSchema(64, 7, DOMAIN, seed=seed)
+            sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+            if abs(sf.est_join_size(sg) - actual) <= sf.join_error_bound(sg):
+                covered += 1
+        assert covered >= 4  # high-probability bound, generous margin
+
+    def test_bound_shrinks_with_averaging(self, workload):
+        f, g = workload
+        small = AGMSSchema(16, 5, DOMAIN, seed=1)
+        large = AGMSSchema(256, 5, DOMAIN, seed=1)
+        bound_small = small.sketch_of(f).join_error_bound(small.sketch_of(g))
+        bound_large = large.sketch_of(f).join_error_bound(large.sketch_of(g))
+        assert bound_large < bound_small
+
+
+class TestHashSketchBound:
+    def test_bound_covers_actual_error(self, workload):
+        f, g = workload
+        actual = f.join_size(g)
+        covered = 0
+        for seed in range(5):
+            schema = HashSketchSchema(64, 7, DOMAIN, seed=seed)
+            sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+            if abs(sf.est_join_size(sg) - actual) <= sf.join_error_bound(sg):
+                covered += 1
+        assert covered >= 4
+
+    def test_incompatible_rejected(self):
+        from repro.errors import IncompatibleSketchError
+
+        a = HashSketchSchema(16, 3, DOMAIN, seed=1).create_sketch()
+        b = HashSketchSchema(16, 3, DOMAIN, seed=2).create_sketch()
+        with pytest.raises(IncompatibleSketchError):
+            a.join_error_bound(b)
+
+
+class TestSkimmedBound:
+    def test_breakdown_carries_bound(self, workload):
+        f, g = workload
+        schema = HashSketchSchema(256, 7, DOMAIN, seed=3)
+        breakdown = est_skim_join_size(schema.sketch_of(f), schema.sketch_of(g))
+        assert np.isfinite(breakdown.max_additive_error)
+        assert breakdown.max_additive_error > 0
+        assert breakdown.relative_error_bound() == pytest.approx(
+            breakdown.max_additive_error / breakdown.estimate
+        )
+
+    def test_bound_covers_actual_error(self, workload):
+        f, g = workload
+        actual = f.join_size(g)
+        covered = 0
+        for seed in range(5):
+            schema = HashSketchSchema(256, 7, DOMAIN, seed=seed)
+            breakdown = est_skim_join_size(
+                schema.sketch_of(f), schema.sketch_of(g)
+            )
+            if abs(breakdown.estimate - actual) <= breakdown.max_additive_error:
+                covered += 1
+        assert covered >= 4
+
+    def test_skimmed_bound_tighter_than_unskimmed_on_skew(self):
+        """The whole point of skimming, as a guarantee: the residual-based
+        bound is far below the raw Theorem-2 bound."""
+        f, g = shifted_zipf_pair(DOMAIN, 80_000, 1.5, 5)
+        schema = HashSketchSchema(256, 7, DOMAIN, seed=4)
+        sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+        breakdown = est_skim_join_size(sf, sg)
+        assert breakdown.max_additive_error < 0.5 * sf.join_error_bound(sg)

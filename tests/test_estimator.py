@@ -1,0 +1,170 @@
+"""Tests for the public SkimmedSketch API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SketchParameters
+from repro.core.estimator import SkimmedSketch, SkimmedSketchSchema
+from repro.errors import IncompatibleSketchError
+from repro.streams.generators import shifted_zipf_pair
+from repro.streams.model import FrequencyVector
+
+DOMAIN = 1 << 12
+
+
+def make_schema(**kwargs):
+    defaults = dict(width=256, depth=7, domain_size=DOMAIN, seed=0)
+    defaults.update(kwargs)
+    return SkimmedSketchSchema(**defaults)
+
+
+class TestSchema:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_schema(threshold_multiplier=0.0)
+
+    def test_from_parameters(self):
+        params = SketchParameters(width=100, depth=5, threshold_multiplier=1.5)
+        schema = SkimmedSketchSchema.from_parameters(params, DOMAIN, seed=3)
+        assert schema.width == 100
+        assert schema.depth == 5
+        assert schema.threshold_multiplier == 1.5
+
+    def test_dyadic_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            SkimmedSketchSchema(64, 5, 1000, dyadic=True)
+
+    def test_compatibility(self):
+        assert make_schema().is_compatible(make_schema())
+        assert not make_schema().is_compatible(make_schema(seed=1))
+        assert not make_schema().is_compatible(make_schema(dyadic=True))
+        assert not make_schema().is_compatible(
+            make_schema(threshold_multiplier=2.0)
+        )
+
+
+class TestQuickstartFlow:
+    def test_streaming_join_estimate(self):
+        schema = make_schema()
+        f, g = schema.create_sketch(), schema.create_sketch()
+        for _ in range(100):
+            f.update(17)
+            g.update(17)
+        g.update(23, -1.0)
+        estimate = f.est_join_size(g)
+        assert estimate == pytest.approx(10_000.0, rel=0.05)
+
+    def test_deletes_supported_end_to_end(self):
+        schema = make_schema()
+        f, g = schema.create_sketch(), schema.create_sketch()
+        f.update_bulk(np.asarray([5] * 50))
+        g.update_bulk(np.asarray([5] * 30))
+        g.update_bulk(np.asarray([5] * 10), np.asarray([-1.0] * 10))
+        assert f.est_join_size(g) == pytest.approx(50.0 * 20.0, rel=0.1)
+
+    def test_absolute_mass_tracks_stream_volume(self):
+        schema = make_schema()
+        sketch = schema.create_sketch()
+        sketch.update(1, 2.0)
+        sketch.update(1, -2.0)
+        assert sketch.absolute_mass == pytest.approx(4.0)
+
+
+class TestEstimates:
+    def test_join_accuracy(self):
+        schema = make_schema(width=256, depth=11)
+        f, g = shifted_zipf_pair(DOMAIN, 100_000, 1.2, 10)
+        estimate = schema.sketch_of(f).est_join_size(schema.sketch_of(g))
+        assert estimate == pytest.approx(f.join_size(g), rel=0.15)
+
+    def test_self_join_accuracy(self):
+        schema = make_schema(width=256, depth=11)
+        f, _ = shifted_zipf_pair(DOMAIN, 100_000, 1.2, 0)
+        estimate = schema.sketch_of(f).est_self_join_size()
+        assert estimate == pytest.approx(f.self_join_size(), rel=0.15)
+
+    def test_point_estimate(self):
+        schema = make_schema()
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([9] * 25))
+        assert sketch.point_estimate(9) == pytest.approx(25.0)
+
+    def test_breakdown_exposed(self):
+        schema = make_schema()
+        f, g = shifted_zipf_pair(DOMAIN, 50_000, 1.3, 5)
+        breakdown = schema.sketch_of(f).join_breakdown(schema.sketch_of(g))
+        assert breakdown.estimate == pytest.approx(
+            breakdown.dense_dense
+            + breakdown.dense_sparse
+            + breakdown.sparse_dense
+            + breakdown.sparse_sparse
+        )
+
+    def test_skim_threshold_formula(self):
+        schema = make_schema(width=100, threshold_multiplier=2.0)
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([1] * 500))
+        assert sketch.skim_threshold() == pytest.approx(2.0 * 500 / 10.0)
+
+    def test_explicit_threshold_override(self):
+        schema = make_schema()
+        f, g = shifted_zipf_pair(DOMAIN, 50_000, 1.3, 5)
+        sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+        breakdown = sf.join_breakdown(sg, threshold=1e12)
+        assert breakdown.f_skim.dense_count == 0
+
+    def test_dyadic_mode(self):
+        schema = make_schema(dyadic=True, width=256, depth=7)
+        f, g = shifted_zipf_pair(DOMAIN, 50_000, 1.2, 10)
+        estimate = schema.sketch_of(f).est_join_size(schema.sketch_of(g))
+        assert estimate == pytest.approx(f.join_size(g), rel=0.2)
+
+    def test_dyadic_point_estimate(self):
+        schema = make_schema(dyadic=True)
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([3] * 40))
+        assert sketch.point_estimate(3) == pytest.approx(40.0)
+
+
+class TestAlgebraAndErrors:
+    def test_merge(self):
+        schema = make_schema()
+        a, b = schema.create_sketch(), schema.create_sketch()
+        a.update_bulk(np.asarray([1] * 10))
+        b.update_bulk(np.asarray([1] * 5))
+        merged = a.merged_with(b)
+        assert merged.point_estimate(1) == pytest.approx(15.0)
+
+    def test_copy_independent(self):
+        schema = make_schema()
+        sketch = schema.create_sketch()
+        sketch.update(1)
+        clone = sketch.copy()
+        clone.update(2)
+        assert clone.absolute_mass != sketch.absolute_mass
+
+    def test_incompatible_join_rejected(self):
+        a = make_schema(seed=1).create_sketch()
+        b = make_schema(seed=2).create_sketch()
+        with pytest.raises(IncompatibleSketchError):
+            a.est_join_size(b)
+
+    def test_wrong_type_rejected(self):
+        sketch = make_schema().create_sketch()
+        with pytest.raises(IncompatibleSketchError):
+            sketch.est_join_size(42)  # type: ignore[arg-type]
+
+    def test_size_in_counters(self):
+        assert make_schema(width=64, depth=5).create_sketch().size_in_counters() == 320
+
+    def test_sketch_of_convenience(self):
+        schema = make_schema()
+        freqs = FrequencyVector.from_values([1, 1, 2], DOMAIN)
+        sketch = schema.sketch_of(freqs)
+        assert sketch.absolute_mass == pytest.approx(3.0)
+
+    def test_repr_mentions_shape(self):
+        text = repr(make_schema(width=64, depth=5).create_sketch())
+        assert "width=64" in text and "depth=5" in text

@@ -1,0 +1,158 @@
+"""Tests for the per-figure experiment definitions (small scales)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    ExperimentScale,
+    default_scale,
+    full_scale,
+    make_census_workload,
+    make_shifted_zipf_workload,
+    render_figure5,
+    render_rows,
+    run_baseline_panel,
+    run_dyadic_cost,
+    run_example1,
+    run_figure5,
+    run_space_scaling,
+    run_threshold_ablation,
+    scale_from_env,
+)
+from repro.eval.runner import SweepConfig
+
+TINY_SCALE = ExperimentScale(
+    domain_size=1 << 10,
+    stream_total=20_000,
+    sweep=SweepConfig(
+        widths=(32, 64),
+        depths=(3, 5),
+        space_budgets=(128, 384),
+        trials=2,
+        seed=3,
+    ),
+    label="tiny",
+)
+
+
+class TestScales:
+    def test_default_scale_shape(self):
+        scale = default_scale()
+        assert scale.domain_size == 1 << 14
+        assert scale.sweep.widths == (50, 100, 150, 200, 250)
+
+    def test_full_scale_larger(self):
+        assert full_scale().stream_total > default_scale().stream_total
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert scale_from_env().label == default_scale().label
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert scale_from_env().label == full_scale().label
+        monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+        assert scale_from_env().label == default_scale().label
+
+    def test_with_trials(self):
+        assert TINY_SCALE.with_trials(7).sweep.trials == 7
+
+
+class TestWorkloads:
+    def test_shifted_zipf_workload_deterministic(self):
+        workload = make_shifted_zipf_workload(1 << 10, 10_000, 1.0, 5)
+        f1, g1 = workload(42)
+        f2, g2 = workload(42)
+        assert f1 == f2 and g1 == g2
+
+    def test_census_workload(self):
+        workload = make_census_workload(num_records=5_000)
+        wage, overtime = workload(1)
+        assert wage.total_count() == 5_000
+
+
+class TestFigure5:
+    def test_tiny_run_structure(self):
+        results = run_figure5(1.0, (5,), TINY_SCALE)
+        assert set(results) == {5}
+        result = results[5]
+        assert set(result.methods()) == {"basic_agms", "skimmed"}
+        expected = (
+            TINY_SCALE.sweep.trials * len(TINY_SCALE.sweep.shapes()) * 2
+        )
+        assert len(result.records) == expected
+
+    def test_render(self):
+        results = run_figure5(1.0, (5,), TINY_SCALE, methods=("skimmed",))
+        text = render_figure5("Figure 5 (tiny)", results)
+        assert "space (words)" in text
+        assert "skimmed, shift=5" in text
+
+
+class TestExample1:
+    def test_improvement_factor_exceeds_one(self):
+        result = run_example1()
+        assert result["improvement_factor"] > 1.0
+        assert result["basic_max_error"] > result["skimmed_max_error"]
+        assert result["join_size"] > 0
+
+
+class TestDyadicCost:
+    def test_savings_grow_with_domain(self):
+        rows = run_dyadic_cost(domain_sizes=(1 << 10, 1 << 14), num_heavy=8)
+        assert rows[0]["descent_estimates"] < rows[0]["flat_scan_estimates"]
+        assert rows[1]["saving_factor"] > rows[0]["saving_factor"]
+        assert all(row["heavy_recall"] >= 0.9 for row in rows)
+
+
+class TestThresholdAblation:
+    def test_rows_cover_multipliers(self):
+        rows = run_threshold_ablation(
+            (0.5, 1.0, 100.0), 1.2, 5, TINY_SCALE, width=128, depth=5, trials=2
+        )
+        assert [row["multiplier"] for row in rows] == [0.5, 1.0, 100.0]
+        # An absurd multiplier skims nothing.
+        assert rows[-1]["mean_dense_count"] == 0.0
+
+
+class TestSpaceScaling:
+    def test_rows_report_join_and_space(self):
+        rows = run_space_scaling(
+            1.1,
+            (2, 50),
+            TINY_SCALE,
+            target_error=0.5,
+            depth=5,
+            widths=(32, 128, 512),
+            trials=2,
+        )
+        assert len(rows) == 2
+        assert rows[0]["join_size"] > rows[1]["join_size"]
+        for row in rows:
+            assert "space_skimmed" in row and "space_basic_agms" in row
+
+
+class TestBaselinePanel:
+    def test_all_methods_reported(self):
+        rows = run_baseline_panel(
+            TINY_SCALE, z=1.1, shift=5, width=64, depth=5, trials=2
+        )
+        methods = {row["method"] for row in rows}
+        assert methods == {
+            "basic_agms",
+            "fast_agms",
+            "skimmed",
+            "reservoir",
+            "bifocal",
+            "partitioned",
+        }
+        assert all(np.isfinite(row["mean_error"]) for row in rows)
+
+
+class TestRenderRows:
+    def test_renders(self):
+        text = render_rows("t", [{"a": 1, "b": 2.5}])
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert "(no rows)" in render_rows("t", [])

@@ -1,0 +1,164 @@
+"""Tests for the workload generators (§5.1 data sets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import (
+    census_like_pair,
+    element_stream,
+    insert_delete_stream,
+    shifted_frequencies,
+    shifted_zipf_pair,
+    uniform_frequencies,
+    zipf_frequencies,
+    zipf_probabilities,
+)
+from repro.streams.model import FrequencyVector
+
+DOMAIN = 1024
+
+
+class TestZipfProbabilities:
+    def test_normalised(self):
+        pmf = zipf_probabilities(DOMAIN, 1.1)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_probabilities(DOMAIN, 1.0)
+        assert (np.diff(pmf) <= 0).all()
+
+    def test_zero_parameter_is_uniform(self):
+        pmf = zipf_probabilities(8, 0.0)
+        assert np.allclose(pmf, 1 / 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(8, -1.0)
+
+
+class TestZipfFrequencies:
+    def test_deterministic_total_exact(self):
+        freqs = zipf_frequencies(DOMAIN, 12_345, 1.0)
+        assert freqs.total_count() == 12_345
+
+    def test_sampled_total_exact(self):
+        freqs = zipf_frequencies(DOMAIN, 9_999, 1.0, np.random.default_rng(0))
+        assert freqs.total_count() == 9_999
+
+    def test_skew_grows_with_z(self):
+        mild = zipf_frequencies(DOMAIN, 100_000, 0.5)
+        steep = zipf_frequencies(DOMAIN, 100_000, 1.5)
+        assert steep.self_join_size() > mild.self_join_size()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(DOMAIN, -1, 1.0)
+
+    def test_sampled_is_reproducible(self):
+        a = zipf_frequencies(DOMAIN, 5000, 1.0, np.random.default_rng(3))
+        b = zipf_frequencies(DOMAIN, 5000, 1.0, np.random.default_rng(3))
+        assert a == b
+
+
+class TestShifted:
+    def test_cyclic_shift_preserves_counts(self):
+        base = zipf_frequencies(DOMAIN, 10_000, 1.0)
+        shifted = shifted_frequencies(base, 100)
+        assert shifted.total_count() == base.total_count()
+        assert shifted[100] == base[0]
+        assert shifted[0] == base[DOMAIN - 100]
+
+    def test_shift_zero_is_identity(self):
+        base = zipf_frequencies(DOMAIN, 10_000, 1.0)
+        assert shifted_frequencies(base, 0) == base
+
+    def test_negative_shift_rejected(self):
+        base = zipf_frequencies(DOMAIN, 1_000, 1.0)
+        with pytest.raises(ValueError):
+            shifted_frequencies(base, -1)
+
+    def test_join_size_decreases_with_shift(self):
+        """The paper's knob: larger shift => smaller join (§5.1)."""
+        joins = []
+        for shift in (0, 10, 100):
+            f, g = shifted_zipf_pair(DOMAIN, 100_000, 1.0, shift)
+            joins.append(f.join_size(g))
+        assert joins[0] > joins[1] > joins[2]
+
+    def test_pair_with_rng_draws_independent_streams(self):
+        f, g = shifted_zipf_pair(DOMAIN, 10_000, 1.0, 0, np.random.default_rng(0))
+        assert f != g  # independent draws even at shift 0
+
+
+class TestCensusLike:
+    def test_record_count_and_domain(self):
+        wage, overtime = census_like_pair(num_records=10_000, domain_size=1 << 16)
+        assert wage.total_count() == 10_000
+        assert overtime.total_count() == 10_000
+        assert wage.domain_size == 1 << 16
+
+    def test_overtime_mostly_zero(self):
+        wage, overtime = census_like_pair(num_records=10_000, seed=1)
+        assert overtime[0] > 0.5 * overtime.total_count()
+
+    def test_wage_skewed(self):
+        wage, _ = census_like_pair(num_records=20_000, seed=2)
+        # Skew: the self-join size far exceeds the uniform baseline N^2/D.
+        uniform_f2 = wage.total_count() ** 2 / wage.domain_size
+        assert wage.self_join_size() > 20 * uniform_f2
+
+    def test_join_is_nonzero(self):
+        wage, overtime = census_like_pair(num_records=30_000, seed=3)
+        assert wage.join_size(overtime) > 0
+
+    def test_deterministic_given_seed(self):
+        a = census_like_pair(num_records=1000, seed=9)
+        b = census_like_pair(num_records=1000, seed=9)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            census_like_pair(num_records=0)
+
+
+class TestElementStreams:
+    def test_element_stream_matches_vector(self):
+        freqs = zipf_frequencies(64, 500, 1.0)
+        stream = element_stream(freqs, np.random.default_rng(0))
+        rebuilt = FrequencyVector.from_updates(stream, 64)
+        assert rebuilt == freqs
+
+    def test_insert_delete_stream_net_state(self):
+        freqs = zipf_frequencies(64, 300, 1.0)
+        stream = insert_delete_stream(freqs, 0.5, np.random.default_rng(1))
+        rebuilt = FrequencyVector.from_updates(stream, 64)
+        assert rebuilt == freqs
+
+    def test_insert_delete_stream_has_churn(self):
+        freqs = zipf_frequencies(64, 300, 1.0)
+        stream = insert_delete_stream(freqs, 0.5, np.random.default_rng(2))
+        assert len(stream) == 300 + 2 * 150
+        assert any(u.weight < 0 for u in stream)
+
+    def test_deletes_follow_their_inserts(self):
+        freqs = zipf_frequencies(16, 50, 1.0)
+        stream = insert_delete_stream(freqs, 1.0, np.random.default_rng(3))
+        running = np.zeros(16)
+        for update in stream:
+            running[update.value] += update.weight
+            assert running.min() >= 0  # never delete before inserting
+
+    def test_churn_validation(self):
+        freqs = zipf_frequencies(16, 10, 1.0)
+        with pytest.raises(ValueError):
+            insert_delete_stream(freqs, -0.1, np.random.default_rng(0))
+
+
+class TestUniform:
+    def test_flat(self):
+        freqs = uniform_frequencies(64, 6_400)
+        assert freqs.counts.max() - freqs.counts.min() <= 1.0

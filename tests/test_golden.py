@@ -1,0 +1,62 @@
+"""Golden regression tests: seeded outputs pinned to exact values.
+
+Every component is deterministic given its seed, so these tests freeze a
+few end-to-end numbers.  If an intentional algorithm change moves them,
+update the constants *in the same commit* — an unexplained drift here
+means estimator behaviour changed silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SkimmedSketchSchema
+from repro.sketches.agms import AGMSSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.streams.generators import census_like_pair, shifted_zipf_pair
+
+DOMAIN = 1 << 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return shifted_zipf_pair(DOMAIN, 10_000, 1.2, 7)
+
+
+class TestGoldenValues:
+    def test_zipf_workload_is_frozen(self, workload):
+        f, g = workload
+        assert f.total_count() == 10_000.0
+        assert f.counts[0] == 2304.0  # deterministic generator, rank 1
+        assert f.join_size(g) == 982447.0
+
+    def test_hash_sketch_counters_checksum(self, workload):
+        f, _ = workload
+        sketch = HashSketchSchema(64, 5, DOMAIN, seed=0).sketch_of(f)
+        assert float(np.abs(sketch.counters).sum()) == pytest.approx(
+            36026.0, abs=1e-6
+        )
+
+    def test_hash_sketch_join_estimate_frozen(self, workload):
+        f, g = workload
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=0)
+        estimate = schema.sketch_of(f).est_join_size(schema.sketch_of(g))
+        assert estimate == pytest.approx(939570.0, abs=1.0)
+
+    def test_skimmed_estimate_frozen(self, workload):
+        f, g = workload
+        schema = SkimmedSketchSchema(64, 5, DOMAIN, seed=0)
+        estimate = schema.sketch_of(f).est_join_size(schema.sketch_of(g))
+        assert estimate == pytest.approx(880090.0, abs=1.0)
+
+    def test_agms_estimate_frozen(self, workload):
+        f, g = workload
+        schema = AGMSSchema(64, 5, DOMAIN, seed=0)
+        estimate = schema.sketch_of(f).est_join_size(schema.sketch_of(g))
+        assert estimate == pytest.approx(1140133.6875, abs=1.0)
+
+    def test_census_generator_frozen(self):
+        wage, overtime = census_like_pair(num_records=1_000, seed=0)
+        assert wage.total_count() == 1_000.0
+        assert overtime[0] == 653.0  # zero-overtime record count

@@ -1,0 +1,154 @@
+"""Unit + statistical tests for the k-wise hash and sign families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    FourWiseSignFamily,
+    KWiseHashFamily,
+    MERSENNE_PRIME_31,
+    PairwiseBucketHash,
+)
+
+
+class TestKWiseHashFamily:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            KWiseHashFamily(0, 2, rng)
+        with pytest.raises(ValueError):
+            KWiseHashFamily(1, 0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = KWiseHashFamily(5, 4, np.random.default_rng(9))
+        b = KWiseHashFamily(5, 4, np.random.default_rng(9))
+        assert a == b
+        values = np.arange(100)
+        assert np.array_equal(a.evaluate(values), b.evaluate(values))
+
+    def test_different_seeds_differ(self):
+        a = KWiseHashFamily(5, 4, np.random.default_rng(1))
+        b = KWiseHashFamily(5, 4, np.random.default_rng(2))
+        assert a != b
+
+    def test_evaluate_one_matches_row(self):
+        family = KWiseHashFamily(6, 4, np.random.default_rng(3))
+        values = np.arange(50)
+        full = family.evaluate(values)
+        for i in range(6):
+            assert np.array_equal(family.evaluate_one(i, values), full[i])
+
+    def test_scalar_input(self):
+        family = KWiseHashFamily(3, 2, np.random.default_rng(4))
+        out = family.evaluate(42)
+        assert out.shape == (3, 1)
+
+    def test_outputs_in_field(self):
+        family = KWiseHashFamily(4, 4, np.random.default_rng(5))
+        out = family.evaluate(np.arange(1000))
+        assert out.max() < MERSENNE_PRIME_31
+
+    def test_state_words(self):
+        family = KWiseHashFamily(7, 4, np.random.default_rng(6))
+        assert family.state_words() == 7 * 4
+
+    def test_hashable(self):
+        a = KWiseHashFamily(2, 2, np.random.default_rng(7))
+        b = KWiseHashFamily(2, 2, np.random.default_rng(7))
+        assert hash(a) == hash(b)
+
+    def test_empirical_uniformity(self):
+        """Hash values should spread evenly over the field (coarse bins)."""
+        family = KWiseHashFamily(1, 2, np.random.default_rng(8))
+        out = family.evaluate(np.arange(20_000))[0]
+        bins = (out * np.uint64(16)) // np.uint64(MERSENNE_PRIME_31)
+        counts = np.bincount(bins.astype(np.int64), minlength=16)
+        # Expected 1250 per bin; allow wide slack.
+        assert counts.min() > 900
+        assert counts.max() < 1700
+
+
+class TestPairwiseBucketHash:
+    def test_range(self):
+        hashes = PairwiseBucketHash(5, 17, np.random.default_rng(0))
+        buckets = hashes.buckets(np.arange(1000))
+        assert buckets.min() >= 0
+        assert buckets.max() < 17
+        assert buckets.shape == (5, 1000)
+
+    def test_buckets_one_matches_row(self):
+        hashes = PairwiseBucketHash(4, 32, np.random.default_rng(1))
+        values = np.arange(200)
+        full = hashes.buckets(values)
+        for i in range(4):
+            assert np.array_equal(hashes.buckets_one(i, values), full[i])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            PairwiseBucketHash(3, 0, np.random.default_rng(0))
+
+    def test_roughly_uniform_over_buckets(self):
+        hashes = PairwiseBucketHash(1, 8, np.random.default_rng(2))
+        buckets = hashes.buckets(np.arange(8_000))[0]
+        counts = np.bincount(buckets, minlength=8)
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_tables_are_independent(self):
+        """Different tables' hashes of the same values must not coincide."""
+        hashes = PairwiseBucketHash(2, 1024, np.random.default_rng(3))
+        buckets = hashes.buckets(np.arange(2000))
+        agreement = np.mean(buckets[0] == buckets[1])
+        assert agreement < 0.05  # expect ~1/1024
+
+    def test_equality_by_content(self):
+        a = PairwiseBucketHash(3, 16, np.random.default_rng(4))
+        b = PairwiseBucketHash(3, 16, np.random.default_rng(4))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestFourWiseSignFamily:
+    def test_values_are_plus_minus_one(self):
+        family = FourWiseSignFamily(3, np.random.default_rng(0))
+        signs = family.signs(np.arange(500))
+        assert set(np.unique(signs)) == {-1.0, 1.0}
+
+    def test_signs_one_matches_row(self):
+        family = FourWiseSignFamily(5, np.random.default_rng(1))
+        values = np.arange(100)
+        full = family.signs(values)
+        for i in range(5):
+            assert np.array_equal(family.signs_one(i, values), full[i])
+
+    def test_mean_near_zero(self):
+        family = FourWiseSignFamily(1, np.random.default_rng(2))
+        signs = family.signs(np.arange(50_000))[0]
+        assert abs(signs.mean()) < 0.02
+
+    def test_pairwise_decorrelation(self):
+        """E[xi(u) xi(v)] ~ 0 for u != v (implied by 4-wise independence)."""
+        family = FourWiseSignFamily(1, np.random.default_rng(3))
+        signs = family.signs(np.arange(40_000))[0]
+        correlation = np.mean(signs[:-1] * signs[1:])
+        assert abs(correlation) < 0.03
+
+    def test_fourth_moment_structure(self):
+        """E[xi(a)xi(b)xi(c)xi(d)] ~ 0 for distinct a,b,c,d.
+
+        This is the property the AGMS variance analysis needs beyond
+        pairwise independence; we average products over many independent
+        families at fixed distinct points.
+        """
+        num_families = 4000
+        family = FourWiseSignFamily(num_families, np.random.default_rng(4))
+        signs = family.signs(np.asarray([10, 20, 30, 40]))
+        products = signs.prod(axis=1)
+        assert abs(products.mean()) < 0.06
+
+    def test_deterministic_given_seed(self):
+        a = FourWiseSignFamily(2, np.random.default_rng(5))
+        b = FourWiseSignFamily(2, np.random.default_rng(5))
+        assert a == b and hash(a) == hash(b)
+        assert np.array_equal(a.signs(np.arange(64)), b.signs(np.arange(64)))

@@ -1,0 +1,89 @@
+"""Integration tests: checkpoint/restore workflows across modules."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import load_sketch, save_sketch
+from repro.core.estimator import SkimmedSketchSchema
+from repro.eval.metrics import join_error
+from repro.streams.generators import element_stream, shifted_zipf_pair
+
+DOMAIN = 1 << 11
+
+
+class TestCheckpointWorkflow:
+    def test_checkpoint_mid_stream_then_resume(self):
+        """A process restart mid-stream loses nothing: checkpoint, restore,
+        keep streaming, and the final estimate matches the uninterrupted
+        run exactly."""
+        schema = SkimmedSketchSchema(128, 7, DOMAIN, seed=4)
+        f, g = shifted_zipf_pair(DOMAIN, 30_000, 1.2, 10)
+        stream = element_stream(f, np.random.default_rng(0))
+        half = len(stream) // 2
+
+        # Uninterrupted run.
+        uninterrupted = schema.create_sketch()
+        uninterrupted.consume(stream)
+
+        # Interrupted run: first half, checkpoint, restore, second half.
+        first_half = schema.create_sketch()
+        first_half.consume(stream[:half])
+        buffer = io.BytesIO()
+        save_sketch(first_half, buffer)
+        buffer.seek(0)
+        resumed = load_sketch(buffer)
+        resumed.consume(stream[half:])
+
+        sketch_g = schema.sketch_of(g)
+        assert resumed.est_join_size(sketch_g) == pytest.approx(
+            uninterrupted.est_join_size(sketch_g)
+        )
+
+    def test_restored_sketch_joins_against_live_peer(self):
+        """Ship a sketch to a coordinator: the receiver rebuilds the schema
+        from the archive and joins it against locally-built sketches."""
+        schema = SkimmedSketchSchema(256, 7, DOMAIN, seed=9)
+        f, g = shifted_zipf_pair(DOMAIN, 50_000, 1.2, 10)
+        actual = f.join_size(g)
+
+        # "Site F" builds and ships its sketch.
+        buffer = io.BytesIO()
+        save_sketch(schema.sketch_of(f), buffer)
+        buffer.seek(0)
+
+        # "Coordinator" restores it — no access to the original schema
+        # object — and joins with its own sketch of G (same parameters).
+        restored_f = load_sketch(buffer)
+        local_schema = SkimmedSketchSchema(256, 7, DOMAIN, seed=9)
+        sketch_g = local_schema.sketch_of(g)
+        estimate = restored_f.est_join_size(sketch_g)
+        assert join_error(estimate, actual) < 0.25
+
+    def test_merged_checkpoints_equal_union_stream(self):
+        """Two sites sketch disjoint substreams, ship archives, and the
+        coordinator's merge equals a single sketch over the union."""
+        schema = SkimmedSketchSchema(128, 5, DOMAIN, seed=12)
+        f, _ = shifted_zipf_pair(DOMAIN, 20_000, 1.1, 0)
+        stream = element_stream(f, np.random.default_rng(1))
+        half = len(stream) // 2
+
+        archives = []
+        for part in (stream[:half], stream[half:]):
+            sketch = schema.create_sketch()
+            sketch.consume(part)
+            buffer = io.BytesIO()
+            save_sketch(sketch, buffer)
+            buffer.seek(0)
+            archives.append(buffer)
+
+        restored = [load_sketch(archive) for archive in archives]
+        merged = restored[0].merged_with(restored[1])
+        whole = schema.create_sketch()
+        whole.consume(stream)
+        assert merged.est_self_join_size() == pytest.approx(
+            whole.est_self_join_size()
+        )

@@ -1,0 +1,86 @@
+"""Tests for the answer-quality metrics (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    DEFAULT_SANITY_BOUND,
+    ErrorSummary,
+    join_error,
+    relative_error,
+)
+
+
+class TestJoinError:
+    def test_exact_estimate_is_zero(self):
+        assert join_error(100.0, 100.0) == 0.0
+
+    def test_symmetric(self):
+        """2x over- and 2x under-estimation get the same penalty."""
+        assert join_error(200.0, 100.0) == pytest.approx(join_error(50.0, 100.0))
+        assert join_error(200.0, 100.0) == pytest.approx(1.0)
+
+    def test_non_positive_estimate_hits_sanity_bound(self):
+        assert join_error(0.0, 100.0) == DEFAULT_SANITY_BOUND
+        assert join_error(-5.0, 100.0) == DEFAULT_SANITY_BOUND
+
+    def test_huge_overestimate_capped(self):
+        assert join_error(1e9, 1.0) == DEFAULT_SANITY_BOUND
+
+    def test_custom_sanity_bound(self):
+        assert join_error(-1.0, 10.0, sanity_bound=3.0) == 3.0
+
+    def test_rejects_non_positive_actual(self):
+        with pytest.raises(ValueError):
+            join_error(1.0, 0.0)
+
+    @given(
+        estimate=st.floats(0.1, 1e6),
+        actual=st.floats(0.1, 1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_symmetry_in_ratio(self, estimate, actual):
+        """error(e, a) == error(a, e): the metric treats both sides alike."""
+        assert join_error(estimate, actual) == pytest.approx(
+            join_error(actual, estimate)
+        )
+
+    @given(x=st.floats(0.1, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_property_zero_iff_equal(self, x):
+        assert join_error(x, x) == 0.0
+
+
+class TestRelativeError:
+    def test_value(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_underestimates_bounded_by_one(self):
+        """The bias join_error exists to fix."""
+        assert relative_error(0.0, 100.0) == 1.0
+
+    def test_rejects_non_positive_actual(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, -1.0)
+
+
+class TestErrorSummary:
+    def test_statistics(self):
+        summary = ErrorSummary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.of([])
+
+    def test_str_mentions_fields(self):
+        text = str(ErrorSummary.of([1.0]))
+        for token in ("mean=", "median=", "max="):
+            assert token in text

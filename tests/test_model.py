@@ -1,0 +1,187 @@
+"""Unit + property tests for the stream data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError
+from repro.streams.model import FrequencyVector, Update, iter_stream
+
+
+class TestUpdate:
+    def test_defaults_to_insert(self):
+        update = Update(5)
+        assert update.weight == 1.0
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(DomainError):
+            Update(-1)
+
+    def test_frozen(self):
+        update = Update(1, 2.0)
+        with pytest.raises(AttributeError):
+            update.value = 3  # type: ignore[misc]
+
+
+class TestFrequencyVectorConstruction:
+    def test_zeros(self):
+        vec = FrequencyVector.zeros(10)
+        assert vec.domain_size == 10
+        assert vec.total_count() == 0
+
+    def test_zeros_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            FrequencyVector.zeros(0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            FrequencyVector(np.zeros((2, 2)))
+
+    def test_from_updates(self):
+        vec = FrequencyVector.from_updates(
+            [Update(1), Update(1), Update(2), Update(1, -1.0)], 4
+        )
+        assert vec[1] == 1.0
+        assert vec[2] == 1.0
+        assert vec[0] == 0.0
+
+    def test_from_values(self):
+        vec = FrequencyVector.from_values([0, 0, 3], 4)
+        assert vec.counts.tolist() == [2.0, 0.0, 0.0, 1.0]
+
+    def test_from_values_domain_check(self):
+        with pytest.raises(DomainError):
+            FrequencyVector.from_values([5], 4)
+
+    def test_counts_are_read_only(self):
+        vec = FrequencyVector.zeros(4)
+        with pytest.raises(ValueError):
+            vec.counts[0] = 1.0
+
+    def test_copy_is_independent(self):
+        vec = FrequencyVector.from_values([1], 4)
+        clone = vec.copy()
+        clone.apply(Update(1))
+        assert vec[1] == 1.0
+        assert clone[1] == 2.0
+
+
+class TestMutation:
+    def test_apply_out_of_domain(self):
+        vec = FrequencyVector.zeros(4)
+        with pytest.raises(DomainError):
+            vec.apply(Update(4))
+
+    def test_apply_bulk_matches_loop(self):
+        values = np.asarray([0, 1, 1, 3, 3, 3])
+        weights = np.asarray([1.0, 2.0, -1.0, 0.5, 0.5, 1.0])
+        bulk = FrequencyVector.zeros(4)
+        bulk.apply_bulk(values, weights)
+        loop = FrequencyVector.zeros(4)
+        for v, w in zip(values, weights):
+            loop.apply(Update(int(v), float(w)))
+        assert bulk == loop
+
+    def test_apply_bulk_default_weights(self):
+        vec = FrequencyVector.zeros(4)
+        vec.apply_bulk(np.asarray([2, 2]))
+        assert vec[2] == 2.0
+
+    def test_apply_bulk_empty(self):
+        vec = FrequencyVector.zeros(4)
+        vec.apply_bulk(np.zeros(0, dtype=np.int64))
+        assert vec.total_count() == 0
+
+    def test_apply_bulk_shape_mismatch(self):
+        vec = FrequencyVector.zeros(4)
+        with pytest.raises(ValueError):
+            vec.apply_bulk(np.asarray([1]), np.asarray([1.0, 2.0]))
+
+
+class TestAggregates:
+    def test_join_size_is_inner_product(self):
+        f = FrequencyVector(np.asarray([1.0, 2.0, 0.0]))
+        g = FrequencyVector(np.asarray([3.0, 4.0, 5.0]))
+        assert f.join_size(g) == 1 * 3 + 2 * 4
+
+    def test_join_size_domain_mismatch(self):
+        with pytest.raises(ValueError):
+            FrequencyVector.zeros(3).join_size(FrequencyVector.zeros(4))
+
+    def test_self_join_size(self):
+        f = FrequencyVector(np.asarray([3.0, 4.0]))
+        assert f.self_join_size() == 25.0
+
+    def test_absolute_mass_with_deletes(self):
+        f = FrequencyVector(np.asarray([-2.0, 3.0]))
+        assert f.total_count() == 1.0
+        assert f.absolute_mass() == 5.0
+
+    def test_support_and_items(self):
+        f = FrequencyVector(np.asarray([0.0, 2.0, 0.0, -1.0]))
+        assert f.support().tolist() == [1, 3]
+        assert list(f.nonzero_items()) == [(1, 2.0), (3, -1.0)]
+
+
+class TestAlgebra:
+    def test_add_sub(self):
+        f = FrequencyVector(np.asarray([1.0, 2.0]))
+        g = FrequencyVector(np.asarray([3.0, 4.0]))
+        assert (f + g).counts.tolist() == [4.0, 6.0]
+        assert (g - f).counts.tolist() == [2.0, 2.0]
+
+    def test_eq(self):
+        f = FrequencyVector(np.asarray([1.0]))
+        assert f == FrequencyVector(np.asarray([1.0]))
+        assert f != FrequencyVector(np.asarray([2.0]))
+        assert f != "not a vector"
+
+
+class TestIterStream:
+    def test_round_trip(self):
+        original = FrequencyVector(np.asarray([2.0, 0.0, 3.0, -1.0]))
+        rebuilt = FrequencyVector.from_updates(iter_stream(original), 4)
+        assert rebuilt == original
+
+    def test_round_trip_shuffled(self):
+        original = FrequencyVector(np.asarray([5.0, 1.0, 0.0, 2.0]))
+        rebuilt = FrequencyVector.from_updates(
+            iter_stream(original, np.random.default_rng(0)), 4
+        )
+        assert rebuilt == original
+
+    def test_fractional_weights(self):
+        original = FrequencyVector(np.asarray([2.5]))
+        updates = list(iter_stream(original))
+        assert len(updates) == 3  # two unit inserts + one 0.5 insert
+        rebuilt = FrequencyVector.from_updates(updates, 1)
+        assert rebuilt == original
+
+
+@given(
+    counts=st.lists(
+        st.integers(min_value=-20, max_value=20), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_iter_stream_round_trip(counts):
+    original = FrequencyVector(np.asarray(counts, dtype=np.float64))
+    rebuilt = FrequencyVector.from_updates(
+        iter_stream(original), original.domain_size
+    )
+    assert rebuilt == original
+
+
+@given(
+    counts=st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+    other=st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_join_commutes(counts, other):
+    size = max(len(counts), len(other))
+    f = FrequencyVector(np.asarray(counts + [0.0] * (size - len(counts))))
+    g = FrequencyVector(np.asarray(other + [0.0] * (size - len(other))))
+    assert f.join_size(g) == pytest.approx(g.join_size(f))

@@ -1,0 +1,53 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.plots import render_ascii_plot
+
+SERIES = {
+    "basic_agms": [(1000.0, 3.0), (4000.0, 1.2), (15000.0, 0.9)],
+    "skimmed": [(1000.0, 0.4), (4000.0, 0.15), (15000.0, 0.04)],
+}
+
+
+class TestRenderAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = render_ascii_plot("t", "space", "error", SERIES)
+        assert "x = basic_agms" in text
+        assert "o = skimmed" in text
+        assert "x" in text and "o" in text
+
+    def test_axis_extremes_labelled(self):
+        text = render_ascii_plot("t", "space", "error", SERIES)
+        assert "1000" in text
+        assert "1.5e+04" in text or "15000" in text
+
+    def test_lower_error_series_sits_lower(self):
+        """The skimmed markers must all appear below the basic ones at the
+        right edge (the chart's whole point)."""
+        text = render_ascii_plot("t", "space", "error", SERIES, width=40, height=12)
+        lines = text.splitlines()[1:13]
+        last_x_row = max(i for i, line in enumerate(lines) if "x" in line)
+        first_o_row = min(i for i, line in enumerate(lines) if "o" in line)
+        # Rows grow downward; 'o' (smaller errors) should reach lower rows.
+        assert max(
+            i for i, line in enumerate(lines) if "o" in line
+        ) > last_x_row or first_o_row > 0
+
+    def test_empty_series(self):
+        assert "(no data)" in render_ascii_plot("t", "x", "y", {})
+        assert "(no data)" in render_ascii_plot("t", "x", "y", {"a": []})
+
+    def test_degenerate_single_point(self):
+        text = render_ascii_plot("t", "x", "y", {"a": [(5.0, 1.0)]})
+        assert "x = a" in text
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii_plot("t", "x", "y", SERIES, width=4)
+
+    def test_title_first_line(self):
+        text = render_ascii_plot("Figure 5(a)", "space", "error", SERIES)
+        assert text.splitlines()[0] == "Figure 5(a)"

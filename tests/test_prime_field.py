@@ -1,0 +1,136 @@
+"""Unit tests for GF(2^31 - 1) arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.prime_field import (
+    MERSENNE_PRIME_31,
+    addmod,
+    as_field_elements,
+    mulmod,
+    poly_eval,
+    poly_eval_many,
+    random_coefficients,
+)
+
+P = MERSENNE_PRIME_31
+
+
+class TestAsFieldElements:
+    def test_reduces_mod_p(self):
+        values = np.asarray([0, 1, P, P + 5, 2 * P + 3], dtype=np.uint64)
+        out = as_field_elements(values)
+        assert out.tolist() == [0, 1, 0, 5, 3]
+
+    def test_accepts_scalars_and_lists(self):
+        assert as_field_elements(7) == np.uint64(7)
+        assert as_field_elements([1, 2]).tolist() == [1, 2]
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            as_field_elements(np.asarray([1.5]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            as_field_elements(np.asarray([-1]))
+
+
+class TestModularOps:
+    def test_mulmod_matches_python_ints(self):
+        a = np.asarray([P - 1, 12345, 0], dtype=np.uint64)
+        b = np.asarray([P - 1, 67890, 99], dtype=np.uint64)
+        expected = [(int(x) * int(y)) % P for x, y in zip(a, b)]
+        assert mulmod(a, b).tolist() == expected
+
+    def test_mulmod_no_overflow_at_extremes(self):
+        a = np.asarray([P - 1], dtype=np.uint64)
+        assert mulmod(a, a)[0] == pow(P - 1, 2, P)
+
+    def test_addmod(self):
+        a = np.asarray([P - 1], dtype=np.uint64)
+        assert addmod(a, a)[0] == (2 * (P - 1)) % P
+
+
+class TestPolyEval:
+    def test_matches_python_reference(self):
+        coeffs = np.asarray([3, 1, 4, 1], dtype=np.uint64)  # 3x^3 + x^2 + 4x + 1
+        points = np.asarray([0, 1, 2, 10**6], dtype=np.uint64)
+        expected = [
+            (3 * x**3 + x**2 + 4 * x + 1) % P for x in points.tolist()
+        ]
+        assert poly_eval(coeffs, points).tolist() == expected
+
+    def test_constant_polynomial(self):
+        coeffs = np.asarray([42], dtype=np.uint64)
+        points = np.asarray([0, 5, 100], dtype=np.uint64)
+        assert poly_eval(coeffs, points).tolist() == [42, 42, 42]
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ValueError):
+            poly_eval(np.zeros(0, dtype=np.uint64), np.asarray([1], dtype=np.uint64))
+
+    @given(
+        coeffs=st.lists(st.integers(0, P - 1), min_size=1, max_size=5),
+        x=st.integers(0, P - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_horner_over_ints(self, coeffs, x):
+        arr = np.asarray(coeffs, dtype=np.uint64)
+        pts = np.asarray([x], dtype=np.uint64)
+        acc = 0
+        for c in coeffs:
+            acc = (acc * x + c) % P
+        assert int(poly_eval(arr, pts)[0]) == acc
+
+
+class TestPolyEvalMany:
+    def test_agrees_with_single_eval(self):
+        rng = np.random.default_rng(0)
+        coeffs = random_coefficients(rng, num_polys=7, degree=3)
+        points = np.asarray([0, 1, 99, 12345], dtype=np.uint64)
+        many = poly_eval_many(coeffs, points)
+        for i in range(7):
+            assert np.array_equal(many[i], poly_eval(coeffs[i], points))
+
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        coeffs = random_coefficients(rng, num_polys=4, degree=1)
+        out = poly_eval_many(coeffs, np.asarray([5, 6, 7], dtype=np.uint64))
+        assert out.shape == (4, 3)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            poly_eval_many(
+                np.zeros((2, 0), dtype=np.uint64), np.asarray([1], dtype=np.uint64)
+            )
+
+
+class TestRandomCoefficients:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(1)
+        coeffs = random_coefficients(rng, num_polys=100, degree=3)
+        assert coeffs.shape == (100, 4)
+        assert coeffs.max() < P
+
+    def test_leading_coefficient_nonzero(self):
+        rng = np.random.default_rng(2)
+        coeffs = random_coefficients(rng, num_polys=500, degree=2)
+        assert (coeffs[:, 0] > 0).all()
+
+    def test_degree_zero_allows_zero(self):
+        rng = np.random.default_rng(3)
+        coeffs = random_coefficients(rng, num_polys=10, degree=0)
+        assert coeffs.shape == (10, 1)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            random_coefficients(np.random.default_rng(0), 1, -1)
+
+    def test_deterministic_given_seed(self):
+        a = random_coefficients(np.random.default_rng(7), 5, 3)
+        b = random_coefficients(np.random.default_rng(7), 5, 3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,54 @@
+"""Tests for the query AST and predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.streams.query import (
+    FunctionPredicate,
+    InSetPredicate,
+    JoinAverageQuery,
+    JoinCountQuery,
+    JoinSumQuery,
+    PointQuery,
+    RangePredicate,
+    SelfJoinQuery,
+    TruePredicate,
+)
+
+
+class TestPredicates:
+    def test_true_predicate(self):
+        assert TruePredicate().accepts(0)
+        assert TruePredicate().accepts(10**9)
+
+    def test_range_predicate(self):
+        pred = RangePredicate(10, 20)
+        assert pred.accepts(10)
+        assert pred.accepts(19)
+        assert not pred.accepts(20)
+        assert not pred.accepts(9)
+
+    def test_range_predicate_rejects_empty(self):
+        with pytest.raises(QueryError):
+            RangePredicate(5, 5)
+
+    def test_in_set_predicate(self):
+        pred = InSetPredicate(frozenset({1, 5}))
+        assert pred.accepts(1)
+        assert not pred.accepts(2)
+
+    def test_function_predicate(self):
+        pred = FunctionPredicate(lambda v: v % 2 == 0)
+        assert pred.accepts(4)
+        assert not pred.accepts(5)
+
+
+class TestQueryDataclasses:
+    def test_queries_are_frozen_values(self):
+        assert JoinCountQuery("f", "g") == JoinCountQuery("f", "g")
+        assert SelfJoinQuery("f") != SelfJoinQuery("g")
+        assert PointQuery("f", 3).value == 3
+        assert JoinSumQuery("f", "g", "fw").measure_stream == "fw"
+        assert JoinAverageQuery("f", "g", "fw").left == "f"

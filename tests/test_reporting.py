@@ -1,0 +1,62 @@
+"""Tests for the plain-text experiment reporting."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_number, render_series, render_table
+
+
+class TestFormatNumber:
+    def test_integers(self):
+        assert format_number(5) == "5"
+        assert format_number(True) == "True"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_small_uses_scientific(self):
+        assert "e" in format_number(1e-6)
+
+    def test_large_uses_scientific(self):
+        assert "e" in format_number(1e9)
+
+    def test_mid_range(self):
+        assert format_number(0.1234567) == "0.1235"
+        assert format_number(123.456) == "123.5"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_string_cells_pass_through(self):
+        text = render_table(["m"], [["skimmed"]])
+        assert "skimmed" in text
+
+
+class TestRenderSeries:
+    def test_union_of_x_values(self):
+        text = render_series(
+            "title",
+            "space",
+            {
+                "a": [(1.0, 0.5), (2.0, 0.25)],
+                "b": [(2.0, 0.1), (3.0, 0.05)],
+            },
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        # x = 1, 2, 3 rows, plus title/header/separator.
+        assert len(lines) == 6
+
+    def test_missing_points_blank(self):
+        text = render_series("t", "x", {"a": [(1.0, 0.5)], "b": []})
+        assert "0.5" in text

@@ -1,0 +1,191 @@
+"""Tests for the sweep runner and schema cache (§5.1 methodology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import (
+    SchemaCache,
+    SweepConfig,
+    SweepResult,
+    TrialRecord,
+    make_estimators,
+    run_sweep,
+)
+from repro.streams.generators import shifted_zipf_pair
+
+DOMAIN = 1 << 10
+
+TINY = SweepConfig(
+    widths=(32, 64),
+    depths=(3, 5),
+    space_budgets=(128, 384),
+    trials=2,
+    seed=7,
+)
+
+
+def tiny_workload(trial_seed: int):
+    rng = np.random.default_rng(trial_seed)
+    return shifted_zipf_pair(DOMAIN, 20_000, 1.1, 5, rng)
+
+
+class TestSweepConfig:
+    def test_shapes_respect_budget(self):
+        shapes = TINY.shapes()
+        assert (32, 3) in shapes
+        assert (64, 5) in shapes
+        assert all(w * d <= 384 for w, d in shapes)
+
+    def test_budget_of(self):
+        assert TINY.budget_of(32, 3) == 128
+        assert TINY.budget_of(64, 5) == 384
+
+    def test_budget_of_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            TINY.budget_of(1000, 1000)
+
+    def test_default_grids_match_paper(self):
+        config = SweepConfig()
+        assert config.widths == (50, 100, 150, 200, 250)
+        assert config.depths == (11, 23, 35, 47, 59)
+
+
+class TestSchemaCache:
+    def test_reuses_schema_objects(self):
+        cache = SchemaCache(DOMAIN)
+        assert cache.skimmed(32, 3, 0) is cache.skimmed(32, 3, 0)
+        assert cache.hash(32, 3, 0) is cache.hash(32, 3, 0)
+        assert cache.agms(32, 3, 0) is cache.agms(32, 3, 0)
+
+    def test_distinct_shapes_distinct_schemas(self):
+        cache = SchemaCache(DOMAIN)
+        assert cache.skimmed(32, 3, 0) is not cache.skimmed(64, 3, 0)
+
+    def test_agms_projection_prebuilt(self):
+        cache = SchemaCache(DOMAIN, enable_agms_projection=True)
+        assert cache.agms(16, 3, 0).projection_cache_enabled()
+
+    def test_agms_projection_disabled(self):
+        cache = SchemaCache(DOMAIN, enable_agms_projection=False)
+        assert not cache.agms(16, 3, 0).projection_cache_enabled()
+
+    def test_clear(self):
+        cache = SchemaCache(DOMAIN)
+        first = cache.skimmed(32, 3, 0)
+        cache.clear()
+        assert cache.skimmed(32, 3, 0) is not first
+
+    def test_bounded_cache_evicts_oldest(self):
+        cache = SchemaCache(DOMAIN, max_entries=2)
+        first = cache.skimmed(32, 3, 0)
+        cache.skimmed(64, 3, 0)
+        cache.skimmed(32, 5, 0)  # evicts the (32, 3) entry
+        assert cache.skimmed(32, 3, 0) is not first
+
+    def test_bounded_cache_validation(self):
+        with pytest.raises(ValueError):
+            SchemaCache(DOMAIN, max_entries=0)
+
+
+class TestMakeEstimators:
+    def test_known_methods(self):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("basic_agms", "skimmed", "fast_agms"))
+        assert set(estimators) == {"basic_agms", "skimmed", "fast_agms"}
+
+    def test_unknown_method_rejected(self):
+        cache = SchemaCache(DOMAIN)
+        with pytest.raises(ValueError):
+            make_estimators(cache, ("quantum",))
+
+    def test_estimators_return_floats(self):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache)
+        f, g = tiny_workload(0)
+        for estimator in estimators.values():
+            assert isinstance(estimator(f, g, 64, 3, 0), float)
+
+
+class TestRunSweep:
+    def test_record_counts(self):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("skimmed",))
+        result = run_sweep(tiny_workload, estimators, TINY)
+        assert len(result.records) == TINY.trials * len(TINY.shapes())
+        assert all(isinstance(r, TrialRecord) for r in result.records)
+
+    def test_methods_and_series(self):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("skimmed", "fast_agms"))
+        result = run_sweep(tiny_workload, estimators, TINY)
+        assert result.methods() == ["skimmed", "fast_agms"]
+        series = result.series_by_space()
+        assert set(series) == {"skimmed", "fast_agms"}
+        for points in series.values():
+            budgets = [b for b, _ in points]
+            assert budgets == sorted(budgets)
+            assert all(e >= 0 for _, e in points)
+
+    def test_paired_trials_share_data(self):
+        """All methods score against the same actual per trial."""
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("skimmed", "fast_agms"))
+        result = run_sweep(tiny_workload, estimators, TINY)
+        by_trial = {}
+        for record in result.records:
+            by_trial.setdefault(record.trial, set()).add(record.actual)
+        for actuals in by_trial.values():
+            assert len(actuals) == 1
+
+    def test_summary_and_improvement(self):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("skimmed", "fast_agms"))
+        result = run_sweep(tiny_workload, estimators, TINY)
+        summary = result.summary_for("skimmed")
+        assert summary.count == len(result.errors_for("skimmed"))
+        factors = result.improvement_factors("fast_agms", "skimmed")
+        assert len(factors) == 2  # one per budget
+
+    def test_empty_result_methods(self):
+        assert SweepResult().methods() == []
+
+    def test_vary_estimator_seed_changes_estimates(self):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("fast_agms",))
+        fixed = run_sweep(tiny_workload, estimators, TINY)
+        varied = run_sweep(
+            tiny_workload,
+            estimators,
+            SweepConfig(
+                widths=TINY.widths,
+                depths=TINY.depths,
+                space_budgets=TINY.space_budgets,
+                trials=TINY.trials,
+                seed=TINY.seed,
+                vary_estimator_seed=True,
+            ),
+        )
+        # Trial 0 agrees (same seed); later trials use fresh randomness.
+        fixed_t1 = [r.estimate for r in fixed.records if r.trial == 1]
+        varied_t1 = [r.estimate for r in varied.records if r.trial == 1]
+        assert fixed_t1 != varied_t1
+
+    def test_error_spread_by_space(self):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("skimmed",))
+        result = run_sweep(tiny_workload, estimators, TINY)
+        spread = result.error_spread_by_space()
+        assert set(spread) == {"skimmed"}
+        assert all(value >= 0 for _, value in spread["skimmed"])
+
+    def test_to_csv(self, tmp_path):
+        cache = SchemaCache(DOMAIN)
+        estimators = make_estimators(cache, ("skimmed",))
+        result = run_sweep(tiny_workload, estimators, TINY)
+        path = tmp_path / "records.csv"
+        result.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("method,width,depth")
+        assert len(lines) == len(result.records) + 1

@@ -1,0 +1,128 @@
+"""Tests for sketch persistence (save/load round trips)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import load_sketch, save_sketch, sketch_from_state, sketch_state
+from repro.core.estimator import SkimmedSketchSchema
+from repro.sketches.agms import AGMSSchema
+from repro.sketches.dyadic import DyadicSketchSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.sketches.serialize import FORMAT_VERSION, SerializationError
+from repro.streams.generators import zipf_frequencies
+
+DOMAIN = 1 << 10
+
+
+def loaded_roundtrip(sketch):
+    buffer = io.BytesIO()
+    save_sketch(sketch, buffer)
+    buffer.seek(0)
+    return load_sketch(buffer)
+
+
+class TestHashSketchRoundTrip:
+    def test_counters_and_mass_preserved(self):
+        schema = HashSketchSchema(32, 5, DOMAIN, seed=3)
+        sketch = schema.sketch_of(zipf_frequencies(DOMAIN, 5_000, 1.2))
+        restored = loaded_roundtrip(sketch)
+        assert np.array_equal(restored.counters, sketch.counters)
+        assert restored.absolute_mass == sketch.absolute_mass
+
+    def test_restored_sketch_is_join_compatible_with_live_one(self):
+        """The whole point: a checkpointed synopsis keeps working."""
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=4)
+        f = zipf_frequencies(DOMAIN, 10_000, 1.2)
+        sketch_f = schema.sketch_of(f)
+        restored = loaded_roundtrip(sketch_f)
+        live_g = schema.sketch_of(f)
+        assert restored.est_join_size(live_g) == pytest.approx(
+            sketch_f.est_join_size(live_g)
+        )
+
+    def test_restored_sketch_accepts_updates(self):
+        schema = HashSketchSchema(32, 5, DOMAIN, seed=5)
+        sketch = schema.create_sketch()
+        sketch.update(1)
+        restored = loaded_roundtrip(sketch)
+        restored.update(1)
+        assert restored.point_estimate(1) == pytest.approx(2.0)
+
+    def test_file_round_trip(self, tmp_path):
+        schema = HashSketchSchema(16, 3, DOMAIN, seed=6)
+        sketch = schema.create_sketch()
+        sketch.update(7, 2.5)
+        path = tmp_path / "sketch.npz"
+        save_sketch(sketch, path)
+        restored = load_sketch(path)
+        assert np.array_equal(restored.counters, sketch.counters)
+
+
+class TestOtherKinds:
+    def test_agms_round_trip(self):
+        schema = AGMSSchema(8, 5, DOMAIN, seed=7)
+        sketch = schema.sketch_of(zipf_frequencies(DOMAIN, 3_000, 1.0))
+        restored = loaded_roundtrip(sketch)
+        assert np.array_equal(restored.atomic_sketches, sketch.atomic_sketches)
+        assert restored.est_self_join_size() == pytest.approx(
+            sketch.est_self_join_size()
+        )
+
+    def test_dyadic_round_trip(self):
+        schema = DyadicSketchSchema(32, 3, DOMAIN, seed=8, coarse_cutoff=32)
+        sketch = schema.sketch_of(zipf_frequencies(DOMAIN, 3_000, 1.3))
+        restored = loaded_roundtrip(sketch)
+        for level in range(schema.num_levels):
+            assert np.array_equal(
+                restored.level_sketch(level).counters,
+                sketch.level_sketch(level).counters,
+            )
+
+    def test_skimmed_round_trip(self):
+        schema = SkimmedSketchSchema(
+            64, 5, DOMAIN, seed=9, threshold_multiplier=1.5
+        )
+        f = zipf_frequencies(DOMAIN, 10_000, 1.3)
+        sketch = schema.sketch_of(f)
+        restored = loaded_roundtrip(sketch)
+        assert restored.schema.threshold_multiplier == 1.5
+        assert restored.est_self_join_size() == pytest.approx(
+            sketch.est_self_join_size()
+        )
+
+    def test_skimmed_dyadic_round_trip(self):
+        schema = SkimmedSketchSchema(32, 3, DOMAIN, seed=10, dyadic=True)
+        sketch = schema.create_sketch()
+        sketch.update(5, 3.0)
+        restored = loaded_roundtrip(sketch)
+        assert restored.schema.dyadic
+        assert restored.point_estimate(5) == pytest.approx(3.0)
+
+
+class TestErrors:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            sketch_from_state({"version": FORMAT_VERSION, "kind": "mystery"})
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SerializationError):
+            sketch_from_state({"version": 999, "kind": "hash"})
+
+    def test_unserialisable_object_rejected(self):
+        with pytest.raises(SerializationError):
+            sketch_state("not a sketch")  # type: ignore[arg-type]
+
+    def test_corrupt_counters_rejected(self):
+        schema = HashSketchSchema(8, 3, DOMAIN, seed=11)
+        state = sketch_state(schema.create_sketch())
+        state["counters"] = np.zeros((1, 1))
+        with pytest.raises(SerializationError):
+            sketch_from_state(state)
+
+    def test_garbage_archive_rejected(self):
+        with pytest.raises(SerializationError):
+            load_sketch(io.BytesIO(b"not an npz archive"))

@@ -1,0 +1,191 @@
+"""Tests for SKIMDENSE (flat and dyadic) — Figure 3, Theorems 3-4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.skim import (
+    SkimResult,
+    default_threshold,
+    skim_dense,
+    skim_dense_dyadic,
+)
+from repro.sketches.dyadic import DyadicSketchSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.streams.generators import zipf_frequencies
+from repro.streams.model import FrequencyVector
+
+DOMAIN = 1 << 10  # 1024
+
+
+def planted_vector(heavy: dict[int, float], tail_seed: int = 0) -> FrequencyVector:
+    counts = np.zeros(DOMAIN)
+    for value, freq in heavy.items():
+        counts[value] = freq
+    rng = np.random.default_rng(tail_seed)
+    tail = rng.choice(DOMAIN, 200, replace=False)
+    counts[tail] += 1.0
+    return FrequencyVector(counts)
+
+
+class TestDefaultThreshold:
+    def test_formula(self):
+        schema = HashSketchSchema(100, 3, DOMAIN, seed=0)
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([1] * 500))
+        assert default_threshold(sketch) == pytest.approx(500 / 10.0)
+
+    def test_multiplier(self):
+        schema = HashSketchSchema(100, 3, DOMAIN, seed=0)
+        sketch = schema.create_sketch()
+        sketch.update(1, 100.0)
+        assert default_threshold(sketch, 2.0) == pytest.approx(20.0)
+
+    def test_empty_sketch_is_infinite(self):
+        schema = HashSketchSchema(100, 3, DOMAIN, seed=0)
+        assert default_threshold(schema.create_sketch()) == float("inf")
+
+    def test_rejects_bad_multiplier(self):
+        schema = HashSketchSchema(100, 3, DOMAIN, seed=0)
+        with pytest.raises(ValueError):
+            default_threshold(schema.create_sketch(), 0.0)
+
+
+class TestSkimResult:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            SkimResult(np.asarray([1, 2]), np.asarray([1.0]), 1.0)
+
+    def test_helpers(self):
+        result = SkimResult(
+            np.asarray([3, 9]), np.asarray([10.0, 20.0]), threshold=5.0
+        )
+        assert result.dense_count == 2
+        assert result.dense_mass() == 30.0
+        assert result.frequency_of(9) == 20.0
+        assert result.frequency_of(4) == 0.0
+        vec = result.as_frequency_vector(16)
+        assert vec[3] == 10.0 and vec[9] == 20.0
+
+
+class TestSkimDenseFlat:
+    def test_extracts_planted_dense_values(self):
+        freqs = planted_vector({10: 400.0, 500: 300.0, 900: 250.0})
+        schema = HashSketchSchema(128, 7, DOMAIN, seed=1)
+        sketch = schema.sketch_of(freqs)
+        result, skimmed = skim_dense(sketch, threshold=100.0)
+        assert {10, 500, 900} <= set(result.dense_values.tolist())
+        for value, freq in ((10, 400.0), (500, 300.0), (900, 250.0)):
+            assert result.frequency_of(value) == pytest.approx(freq, rel=0.15)
+
+    def test_residual_sketch_equals_sketch_of_residual_vector(self):
+        """Skimming is exact linear subtraction (Steps 8-9 of Fig. 3)."""
+        freqs = planted_vector({5: 200.0, 50: 150.0})
+        schema = HashSketchSchema(128, 5, DOMAIN, seed=2)
+        sketch = schema.sketch_of(freqs)
+        result, skimmed = skim_dense(sketch, threshold=80.0)
+        residual = freqs.copy()
+        residual.apply_bulk(result.dense_values, -result.dense_frequencies)
+        reference = schema.sketch_of(residual)
+        assert np.allclose(skimmed.counters, reference.counters)
+
+    def test_residual_frequencies_bounded(self):
+        """Theorem 4: after skimming, residuals stay below ~2*threshold."""
+        freqs = zipf_frequencies(DOMAIN, 50_000, 1.2)
+        schema = HashSketchSchema(256, 7, DOMAIN, seed=3)
+        sketch = schema.sketch_of(freqs)
+        threshold = default_threshold(sketch)
+        result, skimmed = skim_dense(sketch)
+        residual = freqs.copy()
+        residual.apply_bulk(result.dense_values, -result.dense_frequencies)
+        assert np.abs(residual.counts).max() <= 2.0 * threshold
+
+    def test_default_threshold_used(self):
+        freqs = zipf_frequencies(DOMAIN, 50_000, 1.2)
+        schema = HashSketchSchema(256, 7, DOMAIN, seed=4)
+        sketch = schema.sketch_of(freqs)
+        result, _ = skim_dense(sketch)
+        assert result.threshold == pytest.approx(default_threshold(sketch))
+
+    def test_not_in_place_by_default(self):
+        freqs = planted_vector({10: 300.0})
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=5)
+        sketch = schema.sketch_of(freqs)
+        before = sketch.counters.copy()
+        skim_dense(sketch, threshold=100.0)
+        assert np.array_equal(sketch.counters, before)
+
+    def test_in_place(self):
+        freqs = planted_vector({10: 300.0})
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=6)
+        sketch = schema.sketch_of(freqs)
+        before = sketch.counters.copy()
+        _, skimmed = skim_dense(sketch, threshold=100.0, in_place=True)
+        assert skimmed is sketch
+        assert not np.array_equal(sketch.counters, before)
+
+    def test_empty_sketch_skims_nothing(self):
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=7)
+        result, skimmed = skim_dense(schema.create_sketch())
+        assert result.dense_count == 0
+
+    def test_rejects_non_positive_threshold(self):
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=8)
+        with pytest.raises(ValueError):
+            skim_dense(schema.create_sketch(), threshold=-1.0)
+
+    def test_nothing_dense_below_threshold(self):
+        freqs = planted_vector({})
+        schema = HashSketchSchema(128, 5, DOMAIN, seed=9)
+        sketch = schema.sketch_of(freqs)
+        result, skimmed = skim_dense(sketch, threshold=50.0)
+        assert result.dense_count == 0
+        assert np.allclose(skimmed.counters, sketch.counters)
+
+
+class TestSkimDenseDyadic:
+    def test_matches_flat_skim_on_planted_data(self):
+        freqs = planted_vector({12: 400.0, 700: 350.0})
+        schema = DyadicSketchSchema(128, 7, DOMAIN, seed=10, coarse_cutoff=32)
+        sketch = schema.sketch_of(freqs)
+        result, skimmed = skim_dense_dyadic(sketch, threshold=150.0)
+        assert set(result.dense_values.tolist()) == {12, 700}
+        for value, freq in ((12, 400.0), (700, 350.0)):
+            assert result.frequency_of(value) == pytest.approx(freq, rel=0.15)
+
+    def test_residual_levels_consistent(self):
+        """After skimming, every level equals the residual vector's sketch."""
+        freqs = planted_vector({100: 500.0})
+        schema = DyadicSketchSchema(128, 5, DOMAIN, seed=11, coarse_cutoff=32)
+        sketch = schema.sketch_of(freqs)
+        result, skimmed = skim_dense_dyadic(sketch, threshold=200.0)
+        residual = freqs.copy()
+        residual.apply_bulk(result.dense_values, -result.dense_frequencies)
+        reference = schema.sketch_of(residual)
+        for level in range(schema.num_levels):
+            assert np.allclose(
+                skimmed.level_sketch(level).counters,
+                reference.level_sketch(level).counters,
+            )
+
+    def test_default_threshold(self):
+        freqs = zipf_frequencies(DOMAIN, 20_000, 1.3)
+        schema = DyadicSketchSchema(128, 5, DOMAIN, seed=12, coarse_cutoff=32)
+        sketch = schema.sketch_of(freqs)
+        result, _ = skim_dense_dyadic(sketch)
+        assert result.threshold == pytest.approx(
+            default_threshold(sketch.base_sketch)
+        )
+
+    def test_empty_hierarchy(self):
+        schema = DyadicSketchSchema(64, 3, DOMAIN, seed=13)
+        result, _ = skim_dense_dyadic(schema.create_sketch())
+        assert result.dense_count == 0
+
+    def test_in_place_flag(self):
+        freqs = planted_vector({10: 300.0})
+        schema = DyadicSketchSchema(64, 5, DOMAIN, seed=14)
+        sketch = schema.sketch_of(freqs)
+        _, skimmed = skim_dense_dyadic(sketch, threshold=100.0, in_place=True)
+        assert skimmed is sketch

@@ -1,0 +1,157 @@
+"""Tests for ESTSUBJOINSIZE / ESTSKIMJOINSIZE (Figure 4, Theorem 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.skimmed_join import (
+    est_skim_join_size,
+    est_sub_join_size,
+)
+from repro.errors import IncompatibleSketchError
+from repro.sketches.agms import AGMSSchema
+from repro.sketches.dyadic import DyadicSketchSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.streams.generators import shifted_zipf_pair
+from repro.streams.model import FrequencyVector
+
+DOMAIN = 1 << 12
+
+
+class TestEstSubJoinSize:
+    def test_exact_for_single_isolated_value(self):
+        """With only one value in the sketch, f_hat . C pairing is exact."""
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=0)
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([7] * 12))
+        estimate = est_sub_join_size(
+            np.asarray([7]), np.asarray([30.0]), sketch
+        )
+        assert estimate == pytest.approx(30.0 * 12.0)
+
+    def test_empty_dense_vector_is_zero(self):
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=1)
+        assert est_sub_join_size(
+            np.zeros(0, np.int64), np.zeros(0), schema.create_sketch()
+        ) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        schema = HashSketchSchema(64, 5, DOMAIN, seed=2)
+        with pytest.raises(ValueError):
+            est_sub_join_size(
+                np.asarray([1, 2]), np.asarray([1.0]), schema.create_sketch()
+            )
+
+    def test_unbiased_across_schemas(self):
+        f_dense_values = np.asarray([3, 10, 100])
+        f_dense_freqs = np.asarray([50.0, 40.0, 30.0])
+        g = FrequencyVector.from_values([3] * 7 + [100] * 2 + [200] * 5, DOMAIN)
+        actual = 50.0 * 7 + 30.0 * 2
+        estimates = []
+        for seed in range(300):
+            schema = HashSketchSchema(16, 1, DOMAIN, seed=seed)
+            estimates.append(
+                est_sub_join_size(f_dense_values, f_dense_freqs, schema.sketch_of(g))
+            )
+        assert np.mean(estimates) == pytest.approx(actual, rel=0.25)
+
+
+class TestEstSkimJoinSize:
+    def test_breakdown_sums_to_estimate(self):
+        f, g = shifted_zipf_pair(DOMAIN, 50_000, 1.2, 10)
+        schema = HashSketchSchema(256, 7, DOMAIN, seed=3)
+        breakdown = est_skim_join_size(schema.sketch_of(f), schema.sketch_of(g))
+        assert breakdown.estimate == pytest.approx(
+            breakdown.dense_dense
+            + breakdown.dense_sparse
+            + breakdown.sparse_dense
+            + breakdown.sparse_sparse
+        )
+
+    def test_dense_dense_exact_for_fully_dense_streams(self):
+        """When both streams are a few huge values, dd carries ~everything."""
+        f = FrequencyVector.zeros(DOMAIN)
+        g = FrequencyVector.zeros(DOMAIN)
+        f.apply_bulk(np.asarray([1, 2]), np.asarray([1000.0, 800.0]))
+        g.apply_bulk(np.asarray([1, 2]), np.asarray([900.0, 700.0]))
+        schema = HashSketchSchema(128, 7, DOMAIN, seed=4)
+        breakdown = est_skim_join_size(schema.sketch_of(f), schema.sketch_of(g))
+        actual = f.join_size(g)
+        assert breakdown.dense_dense == pytest.approx(actual, rel=0.05)
+        assert breakdown.estimate == pytest.approx(actual, rel=0.1)
+
+    def test_estimate_accuracy_on_skewed_workload(self):
+        f, g = shifted_zipf_pair(DOMAIN, 100_000, 1.0, 20)
+        actual = f.join_size(g)
+        schema = HashSketchSchema(256, 11, DOMAIN, seed=5)
+        breakdown = est_skim_join_size(schema.sketch_of(f), schema.sketch_of(g))
+        assert breakdown.estimate == pytest.approx(actual, rel=0.15)
+
+    def test_beats_basic_agms_at_equal_space_high_skew(self):
+        """The paper's headline: skimming wins by a lot at z = 1.5."""
+        f, g = shifted_zipf_pair(DOMAIN, 100_000, 1.5, 5)
+        actual = f.join_size(g)
+        width, depth = 128, 7
+        skim_errors, agms_errors = [], []
+        for seed in range(3):
+            hash_schema = HashSketchSchema(width, depth, DOMAIN, seed=seed)
+            breakdown = est_skim_join_size(
+                hash_schema.sketch_of(f), hash_schema.sketch_of(g)
+            )
+            skim_errors.append(abs(breakdown.estimate - actual) / actual)
+            agms_schema = AGMSSchema(width, depth, DOMAIN, seed=seed)
+            agms = agms_schema.sketch_of(f).est_join_size(agms_schema.sketch_of(g))
+            agms_errors.append(abs(agms - actual) / actual)
+        assert np.mean(skim_errors) < np.mean(agms_errors)
+        assert np.mean(skim_errors) < 0.1
+
+    def test_custom_thresholds_respected(self):
+        f, g = shifted_zipf_pair(DOMAIN, 50_000, 1.2, 10)
+        schema = HashSketchSchema(256, 7, DOMAIN, seed=6)
+        breakdown = est_skim_join_size(
+            schema.sketch_of(f), schema.sketch_of(g), 1e12, 1e12
+        )
+        # Nothing is dense at an absurd threshold: pure sparse-sparse.
+        assert breakdown.f_skim.dense_count == 0
+        assert breakdown.dense_dense == 0.0
+        assert breakdown.dense_sparse == 0.0
+
+    def test_dyadic_inputs(self):
+        f, g = shifted_zipf_pair(DOMAIN, 50_000, 1.2, 10)
+        actual = f.join_size(g)
+        schema = DyadicSketchSchema(256, 7, DOMAIN, seed=7, coarse_cutoff=64)
+        breakdown = est_skim_join_size(schema.sketch_of(f), schema.sketch_of(g))
+        assert breakdown.estimate == pytest.approx(actual, rel=0.2)
+
+    def test_mixing_flat_and_dyadic_rejected(self):
+        flat = HashSketchSchema(64, 5, DOMAIN, seed=8).create_sketch()
+        dyadic = DyadicSketchSchema(64, 5, DOMAIN, seed=8).create_sketch()
+        with pytest.raises(IncompatibleSketchError):
+            est_skim_join_size(flat, dyadic)
+        with pytest.raises(IncompatibleSketchError):
+            est_skim_join_size(dyadic, flat)
+
+    def test_inputs_not_mutated(self):
+        f, g = shifted_zipf_pair(DOMAIN, 20_000, 1.3, 5)
+        schema = HashSketchSchema(128, 5, DOMAIN, seed=9)
+        sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+        before_f, before_g = sf.counters.copy(), sg.counters.copy()
+        est_skim_join_size(sf, sg)
+        assert np.array_equal(sf.counters, before_f)
+        assert np.array_equal(sg.counters, before_g)
+
+    def test_summary_mentions_all_terms(self):
+        f, g = shifted_zipf_pair(DOMAIN, 20_000, 1.3, 5)
+        schema = HashSketchSchema(128, 5, DOMAIN, seed=10)
+        breakdown = est_skim_join_size(schema.sketch_of(f), schema.sketch_of(g))
+        text = breakdown.summary()
+        for token in ("dd=", "ds=", "sd=", "ss=", "estimate="):
+            assert token in text
+
+    def test_self_join_via_same_stream(self):
+        f, _ = shifted_zipf_pair(DOMAIN, 50_000, 1.2, 0)
+        actual = f.self_join_size()
+        schema = HashSketchSchema(256, 7, DOMAIN, seed=11)
+        breakdown = est_skim_join_size(schema.sketch_of(f), schema.sketch_of(f))
+        assert breakdown.estimate == pytest.approx(actual, rel=0.15)

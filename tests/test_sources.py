@@ -1,0 +1,146 @@
+"""Tests for the synthetic CDR / SNMP record sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SketchParameters
+from repro.streams.engine import StreamEngine
+from repro.streams.query import JoinCountQuery, RangePredicate
+from repro.streams.sources import (
+    CallDetailRecord,
+    CDRSource,
+    InterfaceSample,
+    SNMPSource,
+    feed_engine,
+)
+
+
+class TestCDRSource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CDRSource(1)
+        with pytest.raises(ValueError):
+            CDRSource(10, num_cells=0)
+        with pytest.raises(ValueError):
+            list(CDRSource(10).records(-1))
+
+    def test_record_shape(self):
+        records = list(CDRSource(100, num_cells=8, seed=1).records(50))
+        assert len(records) == 50
+        for record in records:
+            assert isinstance(record, CallDetailRecord)
+            assert 0 <= record.caller < 100
+            assert 0 <= record.callee < 100
+            assert 0 <= record.cell < 8
+            assert record.duration_seconds >= 1
+
+    def test_caller_popularity_is_skewed(self):
+        records = list(CDRSource(1000, popularity_skew=1.2, seed=2).records(5000))
+        callers = np.asarray([r.caller for r in records])
+        counts = np.bincount(callers, minlength=1000)
+        # Top subscriber makes far more calls than the uniform share of 5.
+        assert counts.max() > 100
+
+    def test_heavy_callers_and_callees_differ(self):
+        source = CDRSource(1000, popularity_skew=1.3, seed=3)
+        records = list(source.records(5000))
+        top_caller = np.bincount([r.caller for r in records], minlength=1000).argmax()
+        top_callee = np.bincount([r.callee for r in records], minlength=1000).argmax()
+        assert top_caller != top_callee
+
+    def test_diurnal_durations(self):
+        night = CDRSource(100, seed=4)
+        day = CDRSource(100, seed=4)
+        night_mean = np.mean(
+            [r.duration_seconds for r in night.records(2000, hour_of_day=0.0)]
+        )
+        day_mean = np.mean(
+            [r.duration_seconds for r in day.records(2000, hour_of_day=12.0)]
+        )
+        assert day_mean > night_mean
+
+    def test_deterministic_given_seed(self):
+        a = list(CDRSource(50, seed=7).records(10))
+        b = list(CDRSource(50, seed=7).records(10))
+        assert a == b
+
+
+class TestSNMPSource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SNMPSource(0)
+        with pytest.raises(ValueError):
+            SNMPSource(4, mean_octets=0)
+        with pytest.raises(ValueError):
+            list(SNMPSource(4).polls(-1))
+
+    def test_poll_shape(self):
+        polls = list(SNMPSource(16, seed=1).polls(100))
+        assert len(polls) == 100
+        for sample in polls:
+            assert isinstance(sample, InterfaceSample)
+            assert 0 <= sample.interface < 16
+            assert sample.octets >= 1
+
+    def test_backbone_interfaces_dominate(self):
+        polls = list(SNMPSource(64, traffic_skew=1.2, seed=2).polls(3000))
+        counts = np.bincount([p.interface for p in polls], minlength=64)
+        assert counts[0] > 5 * np.median(counts[counts > 0])
+
+
+class TestFeedEngine:
+    def make_engine(self):
+        engine = StreamEngine(
+            1 << 10, SketchParameters(width=128, depth=7), seed=9
+        )
+        return engine
+
+    def test_records_flow_into_streams(self):
+        """Join caller activity across two collection windows: the same
+        Zipf-popular subscribers dominate both, giving a join large enough
+        to estimate well at this sketch size."""
+        engine = self.make_engine()
+        engine.register_stream("window1")
+        engine.register_stream("window2")
+        source = CDRSource(1 << 10, seed=5)
+        batch1 = list(source.records(2000))
+        batch2 = list(source.records(2000))
+        fed = feed_engine(engine, "window1", batch1, key=lambda r: r.caller)
+        assert fed == 2000
+        feed_engine(engine, "window2", batch2, key=lambda r: r.caller)
+        answer = engine.answer(JoinCountQuery("window1", "window2"))
+        counts1 = np.bincount([r.caller for r in batch1], minlength=1 << 10)
+        counts2 = np.bincount([r.caller for r in batch2], minlength=1 << 10)
+        exact = float(counts1 @ counts2)
+        assert answer == pytest.approx(exact, rel=0.25)
+
+    def test_weighted_feed(self):
+        engine = self.make_engine()
+        engine.register_stream("durations")
+        records = [
+            CallDetailRecord(caller=3, callee=4, duration_seconds=60, cell=0),
+            CallDetailRecord(caller=3, callee=5, duration_seconds=40, cell=0),
+        ]
+        feed_engine(
+            engine,
+            "durations",
+            records,
+            key=lambda r: r.caller,
+            weight=lambda r: r.duration_seconds,
+        )
+        assert engine.synopsis_for("durations").point_estimate(3) == pytest.approx(
+            100.0
+        )
+
+    def test_predicates_apply(self):
+        engine = self.make_engine()
+        engine.register_stream("callers", predicate=RangePredicate(0, 10))
+        records = [
+            CallDetailRecord(caller=5, callee=1, duration_seconds=1, cell=0),
+            CallDetailRecord(caller=500, callee=1, duration_seconds=1, cell=0),
+        ]
+        feed_engine(engine, "callers", records, key=lambda r: r.caller)
+        seen, dropped = engine.stream_stats("callers")
+        assert (seen, dropped) == (2, 1)

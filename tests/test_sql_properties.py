@@ -1,0 +1,76 @@
+"""Property-based tests for the SQL front-end (generated queries parse)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.streams.query import (
+    JoinAverageQuery,
+    JoinCountQuery,
+    JoinSumQuery,
+    MultiJoinCountQuery,
+    SelfJoinQuery,
+)
+from repro.streams.sql import parse_query
+
+names = st.from_regex(r"[a-z][a-z_0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in ("SELECT", "FROM", "JOIN", "WHERE", "AND", "COUNT", "SUM", "AVG", "FREQ")
+)
+
+
+@given(left=names, right=names)
+@settings(max_examples=60, deadline=None)
+def test_generated_count_queries_parse(left, right):
+    parsed = parse_query(f"SELECT COUNT(*) FROM {left} JOIN {right}")
+    if left == right:
+        assert parsed.query == SelfJoinQuery(left)
+    else:
+        assert parsed.query == JoinCountQuery(left, right)
+
+
+@given(left=names, right=names, measure=names, agg=st.sampled_from(["SUM", "AVG"]))
+@settings(max_examples=60, deadline=None)
+def test_generated_aggregate_queries_parse(left, right, measure, agg):
+    parsed = parse_query(f"SELECT {agg}({measure}) FROM {left} JOIN {right}")
+    expected_type = JoinSumQuery if agg == "SUM" else JoinAverageQuery
+    assert isinstance(parsed.query, expected_type)
+    assert parsed.query.measure_stream == measure
+
+
+@given(sources=st.lists(names, min_size=3, max_size=6, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_generated_multijoin_queries_parse(sources):
+    text = "SELECT COUNT(*) FROM " + " JOIN ".join(sources)
+    parsed = parse_query(text)
+    assert parsed.query == MultiJoinCountQuery(relations=tuple(sources))
+
+
+@given(
+    name=names,
+    low=st.integers(0, 1000),
+    span=st.integers(1, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_generated_range_predicates_accept_exactly_the_range(name, low, span):
+    high = low + span
+    parsed = parse_query(
+        f"SELECT COUNT(*) FROM {name} JOIN other_s "
+        f"WHERE {name} >= {low} AND {name} < {high}"
+    )
+    predicate = parsed.predicates[name]
+    assert predicate.accepts(low)
+    assert predicate.accepts(high - 1)
+    assert not predicate.accepts(high)
+    if low > 0:
+        assert not predicate.accepts(low - 1)
+
+
+@given(garbage=st.text(alphabet="()*<>=!@#$%", min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_garbage_never_crashes_with_non_query_errors(garbage):
+    with pytest.raises(QueryError):
+        parse_query(f"SELECT COUNT(*) FROM a JOIN b {garbage}")

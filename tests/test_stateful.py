@@ -1,0 +1,101 @@
+"""Stateful property testing: a hash sketch against the exact model.
+
+Hypothesis drives random sequences of operations (inserts, deletes,
+weighted updates, merges, skims, epoch churn) against both a
+:class:`HashSketch` and an exact :class:`FrequencyVector` model, checking
+after every step that the sketch remains the exact linear projection of
+the model — the single invariant all estimator guarantees rest on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.skim import skim_dense
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.streams.model import FrequencyVector
+
+DOMAIN = 32
+SCHEMA = HashSketchSchema(16, 3, DOMAIN, seed=99)
+
+
+def _projection_of(model: FrequencyVector) -> np.ndarray:
+    """The exact counters the schema assigns to a frequency vector."""
+    return SCHEMA.sketch_of(model).counters
+
+
+class SketchMachine(RuleBasedStateMachine):
+    """Random op sequences must keep sketch == projection(model)."""
+
+    def __init__(self):
+        super().__init__()
+        self.sketch = SCHEMA.create_sketch()
+        self.model = FrequencyVector.zeros(DOMAIN)
+
+    @rule(value=st.integers(0, DOMAIN - 1))
+    def insert(self, value):
+        self.sketch.update(value)
+        self.model.apply_bulk(np.asarray([value]))
+
+    @rule(value=st.integers(0, DOMAIN - 1))
+    def delete(self, value):
+        self.sketch.update(value, -1.0)
+        self.model.apply_bulk(np.asarray([value]), np.asarray([-1.0]))
+
+    @rule(
+        value=st.integers(0, DOMAIN - 1),
+        weight=st.floats(-50.0, 50.0, allow_nan=False),
+    )
+    def weighted_update(self, value, weight):
+        self.sketch.update(value, weight)
+        self.model.apply_bulk(np.asarray([value]), np.asarray([weight]))
+
+    @rule(
+        values=st.lists(st.integers(0, DOMAIN - 1), min_size=1, max_size=10)
+    )
+    def bulk_insert(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        self.sketch.update_bulk(arr)
+        self.model.apply_bulk(arr)
+
+    @rule(
+        value=st.integers(0, DOMAIN - 1),
+        amount=st.floats(1.0, 20.0, allow_nan=False),
+    )
+    def subtract_known_frequency(self, value, amount):
+        """Skim-style subtraction is just a negative point mass."""
+        self.sketch.subtract_frequencies(
+            np.asarray([value]), np.asarray([amount])
+        )
+        self.model.apply_bulk(np.asarray([value]), np.asarray([-amount]))
+
+    @rule(other_value=st.integers(0, DOMAIN - 1))
+    def merge_in_singleton(self, other_value):
+        other = SCHEMA.create_sketch()
+        other.update(other_value, 2.0)
+        self.sketch = self.sketch.merged_with(other)
+        self.model.apply_bulk(np.asarray([other_value]), np.asarray([2.0]))
+
+    @rule(threshold=st.floats(5.0, 100.0, allow_nan=False))
+    def skim_and_track(self, threshold):
+        """In-place skim; the model loses the extracted frequencies too."""
+        result, _ = skim_dense(self.sketch, threshold=threshold, in_place=True)
+        if result.dense_count:
+            self.model.apply_bulk(
+                result.dense_values, -result.dense_frequencies
+            )
+
+    @invariant()
+    def sketch_equals_projection_of_model(self):
+        assert np.allclose(
+            self.sketch.counters, _projection_of(self.model), atol=1e-6
+        )
+
+
+TestSketchMachine = SketchMachine.TestCase
+TestSketchMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,123 @@
+"""Statistical validation against the theory, using scipy.
+
+These tests treat the theoretical results as *distributional* statements
+and test them properly: chi-square goodness of fit for hash uniformity,
+empirical-vs-theoretical variance for the AGMS estimator, and coverage of
+the Theorem-3 point-estimate error bound.  Seeds are pinned; thresholds
+are set so correct code passes with wide margins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.hashing import FourWiseSignFamily, PairwiseBucketHash
+from repro.sketches.agms import AGMSSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.streams.generators import zipf_frequencies
+from repro.streams.model import FrequencyVector
+
+DOMAIN = 1 << 10
+
+
+class TestHashUniformity:
+    def test_bucket_hash_chi_square(self):
+        """Bucket assignment over sequential keys is uniform (chi-square)."""
+        hashes = PairwiseBucketHash(1, 64, np.random.default_rng(0))
+        buckets = hashes.buckets(np.arange(64_000))[0]
+        counts = np.bincount(buckets, minlength=64)
+        _, p_value = stats.chisquare(counts)
+        assert p_value > 0.001  # not detectably non-uniform
+
+    def test_sign_balance_binomial(self):
+        """+1/-1 counts are consistent with a fair coin (binomial test)."""
+        family = FourWiseSignFamily(1, np.random.default_rng(1))
+        signs = family.signs(np.arange(40_000))[0]
+        positives = int((signs > 0).sum())
+        p_value = stats.binomtest(positives, 40_000, 0.5).pvalue
+        assert p_value > 0.001
+
+    def test_pairwise_sign_products_balanced(self):
+        """xi(u)*xi(v) over distinct pairs is also a fair coin (2-wise)."""
+        family = FourWiseSignFamily(1, np.random.default_rng(2))
+        signs = family.signs(np.arange(20_000))[0]
+        products = signs[::2] * signs[1::2]
+        positives = int((products > 0).sum())
+        p_value = stats.binomtest(positives, products.size, 0.5).pvalue
+        assert p_value > 0.001
+
+
+class TestAGMSVariance:
+    def test_empirical_variance_within_theoretical_bound(self):
+        """Var[X_F X_G] <= 2 SJ(f) SJ(g) + ... (AMS analysis); the sample
+        variance over many independent single-cell sketches must respect
+        it (allowing chi-square sampling slack)."""
+        f = FrequencyVector.from_values([0] * 10 + [1] * 5 + [2] * 3, DOMAIN)
+        g = FrequencyVector.from_values([0] * 7 + [2] * 6 + [3] * 4, DOMAIN)
+        estimates = []
+        for seed in range(400):
+            schema = AGMSSchema(1, 1, DOMAIN, seed=seed)
+            estimates.append(schema.sketch_of(f).est_join_size(schema.sketch_of(g)))
+        sample_variance = float(np.var(estimates, ddof=1))
+        # AMS bound: Var <= 2 * SJ(f) * SJ(g) (loose form incl. J^2 term).
+        bound = 2.0 * f.self_join_size() * g.self_join_size()
+        assert sample_variance <= 1.5 * bound
+
+    def test_averaging_reduces_variance_linearly(self):
+        """Var scales ~1/averaging: quadrupling copies cuts spread ~4x."""
+        f = zipf_frequencies(DOMAIN, 5_000, 1.1)
+
+        def spread(averaging: int) -> float:
+            estimates = [
+                AGMSSchema(averaging, 1, DOMAIN, seed=seed)
+                .sketch_of(f)
+                .est_self_join_size()
+                for seed in range(120)
+            ]
+            return float(np.var(estimates, ddof=1))
+
+        ratio = spread(4) / spread(16)
+        assert 2.0 < ratio < 9.0  # ideal 4.0, generous sampling slack
+
+
+class TestTheorem3Coverage:
+    def test_point_estimate_errors_within_bound(self):
+        """|EST(v) - f(v)| <= 8 sqrt(F2/width) for ~all values (Thm. 3
+        with a loose constant; the median over depth=7 tables makes
+        per-value failures rare)."""
+        freqs = zipf_frequencies(DOMAIN, 20_000, 1.1)
+        schema = HashSketchSchema(128, 7, DOMAIN, seed=3)
+        sketch = schema.sketch_of(freqs)
+        bound = 8.0 * np.sqrt(freqs.self_join_size() / 128.0)
+        estimates = sketch.all_point_estimates()
+        errors = np.abs(estimates - freqs.counts)
+        assert float(np.mean(errors <= bound)) > 0.99
+
+    def test_estimate_errors_are_centred(self):
+        """Point-estimate residuals have ~zero median across the domain
+        (the median estimator is unbiased in the median sense)."""
+        freqs = zipf_frequencies(DOMAIN, 20_000, 1.0)
+        schema = HashSketchSchema(128, 7, DOMAIN, seed=4)
+        residuals = schema.sketch_of(freqs).all_point_estimates() - freqs.counts
+        assert abs(float(np.median(residuals))) <= 2.0
+
+
+class TestJoinEstimateDistribution:
+    def test_median_boosting_tightens_tails(self):
+        """P(|error| > t) falls sharply with depth: the worst-of-30-runs
+        error at depth 9 is far below depth 1's."""
+        f = zipf_frequencies(DOMAIN, 10_000, 1.2)
+        g = zipf_frequencies(DOMAIN, 10_000, 1.2, np.random.default_rng(1))
+        actual = f.join_size(g)
+
+        def worst_error(depth: int) -> float:
+            errors = []
+            for seed in range(30):
+                schema = HashSketchSchema(64, depth, DOMAIN, seed=seed)
+                estimate = schema.sketch_of(f).est_join_size(schema.sketch_of(g))
+                errors.append(abs(estimate - actual) / actual)
+            return max(errors)
+
+        assert worst_error(9) < worst_error(1)

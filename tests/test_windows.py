@@ -1,0 +1,126 @@
+"""Tests for jumping-window sketches (sliding-window substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IncompatibleSketchError
+from repro.streams.windows import WindowedSketch, WindowedSketchSchema
+
+DOMAIN = 1 << 10
+
+
+def make_schema(window_epochs=3, **kwargs):
+    defaults = dict(width=128, depth=5, domain_size=DOMAIN, seed=0)
+    defaults.update(kwargs)
+    return WindowedSketchSchema(window_epochs=window_epochs, **defaults)
+
+
+class TestSchema:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_schema(window_epochs=0)
+
+    def test_compatibility(self):
+        assert make_schema().is_compatible(make_schema())
+        assert not make_schema().is_compatible(make_schema(seed=1))
+        assert not make_schema().is_compatible(make_schema(window_epochs=4))
+
+
+class TestWindowMechanics:
+    def test_starts_with_one_epoch(self):
+        sketch = make_schema().create_sketch()
+        assert sketch.live_epochs == 1
+        assert sketch.current_epoch == 0
+
+    def test_advance_grows_until_window_full(self):
+        sketch = make_schema(window_epochs=3).create_sketch()
+        sketch.advance_epoch()
+        assert sketch.live_epochs == 2
+        sketch.advance_epoch()
+        sketch.advance_epoch()
+        assert sketch.live_epochs == 3  # capped at the window length
+        assert sketch.current_epoch == 3
+
+    def test_old_epochs_expire_exactly(self):
+        """Content older than the window leaves the estimate completely."""
+        schema = make_schema(window_epochs=2)
+        sketch = schema.create_sketch()
+        sketch.update_bulk(np.asarray([7] * 100))  # epoch 0
+        sketch.advance_epoch()
+        sketch.update_bulk(np.asarray([7] * 10))  # epoch 1
+        assert sketch.point_estimate(7) == pytest.approx(110.0)
+        sketch.advance_epoch()  # epoch 0 expires
+        assert sketch.point_estimate(7) == pytest.approx(10.0)
+        sketch.advance_epoch()  # epoch 1 expires too
+        assert sketch.point_estimate(7) == pytest.approx(0.0)
+
+    def test_window_sketch_is_sum_of_live_epochs(self):
+        schema = make_schema(window_epochs=3)
+        sketch = schema.create_sketch()
+        sketch.update(1, 5.0)
+        sketch.advance_epoch()
+        sketch.update(2, 7.0)
+        collapsed = sketch.window_sketch()
+        reference = schema.inner.create_sketch()
+        reference.update(1, 5.0)
+        reference.update(2, 7.0)
+        assert np.allclose(collapsed.counters, reference.counters)
+
+    def test_size_accounts_full_window(self):
+        sketch = make_schema(window_epochs=4, width=16, depth=3).create_sketch()
+        assert sketch.size_in_counters() == 4 * 16 * 3
+
+
+class TestWindowedEstimates:
+    def test_join_over_recent_epochs_only(self):
+        schema = make_schema(window_epochs=2, width=256, depth=7)
+        f, g = schema.create_sketch(), schema.create_sketch()
+        # Epoch 0: huge matching mass that must later expire.
+        f.update_bulk(np.asarray([3] * 200))
+        g.update_bulk(np.asarray([3] * 200))
+        f.advance_epoch()
+        g.advance_epoch()
+        # Epoch 1 and 2: modest matching mass.
+        for _ in range(2):
+            f.update_bulk(np.asarray([5] * 10))
+            g.update_bulk(np.asarray([5] * 20))
+            f.advance_epoch()
+            g.advance_epoch()
+        f.update_bulk(np.asarray([5] * 10))
+        g.update_bulk(np.asarray([5] * 20))
+        # Window = last 2 epochs: 20 x 40 on value 5; the 200 x 200 on
+        # value 3 has fully expired.
+        assert f.est_join_size(g) == pytest.approx(800.0, rel=0.1)
+
+    def test_self_join(self):
+        sketch = make_schema(width=256, depth=7).create_sketch()
+        sketch.update_bulk(np.asarray([1] * 30 + [2] * 40))
+        assert sketch.est_self_join_size() == pytest.approx(
+            30.0**2 + 40.0**2, rel=0.1
+        )
+
+    def test_misaligned_windows_rejected(self):
+        schema = make_schema()
+        f, g = schema.create_sketch(), schema.create_sketch()
+        f.advance_epoch()
+        with pytest.raises(IncompatibleSketchError):
+            f.est_join_size(g)
+
+    def test_incompatible_schemas_rejected(self):
+        f = make_schema(seed=1).create_sketch()
+        g = make_schema(seed=2).create_sketch()
+        with pytest.raises(IncompatibleSketchError):
+            f.est_join_size(g)
+
+    def test_wrong_type_rejected(self):
+        sketch = make_schema().create_sketch()
+        with pytest.raises(IncompatibleSketchError):
+            sketch.est_join_size(object())  # type: ignore[arg-type]
+
+    def test_deletes_within_window(self):
+        sketch = make_schema(width=256, depth=7).create_sketch()
+        sketch.update_bulk(np.asarray([9] * 50))
+        sketch.update_bulk(np.asarray([9] * 20), np.asarray([-1.0] * 20))
+        assert sketch.point_estimate(9) == pytest.approx(30.0)
