@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench experiments examples metrics-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,15 @@ examples:
 	for script in examples/*.py; do \
 		echo "== $$script =="; $(PYTHON) $$script || exit 1; \
 	done
+
+# Run one instrumented benchmark and validate the emitted metrics
+# snapshot (schema + required metric names); see docs/OBSERVABILITY.md.
+metrics-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.eval smoke --metrics-out .metrics-smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.obs .metrics-smoke.json \
+		sketch.update.elements skim.passes estimate.joins \
+		skim.seconds eval.experiment.seconds
+	rm -f .metrics-smoke.json
 
 clean:
 	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import IncompatibleSketchError
+from ..obs import METRICS as _METRICS
 from ..sketches.base import StreamSynopsis
 from ..sketches.dyadic import DyadicHashSketch, DyadicSketchSchema
 from ..sketches.hash_sketch import HashSketch, HashSketchSchema
@@ -200,9 +201,10 @@ class SkimmedSketch(StreamSynopsis):
         own ``c * N / sqrt(width)``.
         """
         self._check_compatible(other)
-        f_skim, f_res = self.skim(threshold)
-        g_skim, g_res = other.skim(threshold)
-        return est_skim_join_size_from_parts(f_skim, f_res, g_skim, g_res)
+        with _METRICS.timer("estimate.skim_join.seconds"):
+            f_skim, f_res = self.skim(threshold)
+            g_skim, g_res = other.skim(threshold)
+            return est_skim_join_size_from_parts(f_skim, f_res, g_skim, g_res)
 
     def est_join_size(self, other: "SkimmedSketch") -> float:
         """Skimmed-sketch estimate of ``COUNT(F join G)``."""

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import METRICS as _METRICS
 from ..sketches.dyadic import DyadicHashSketch
 from ..sketches.hash_sketch import HashSketch
 from ..streams.model import FrequencyVector
@@ -142,12 +143,15 @@ def skim_dense(
     if not np.isfinite(threshold):
         return SkimResult(_Empty().values, _Empty().frequencies, threshold), target
 
-    estimates = target.all_point_estimates()
-    dense_mask = estimates >= threshold
-    dense_values = np.flatnonzero(dense_mask).astype(np.int64)
-    dense_frequencies = estimates[dense_mask]
-    if dense_values.size:
-        target.subtract_frequencies(dense_values, dense_frequencies)
+    with _METRICS.timer("skim.seconds"):
+        estimates = target.all_point_estimates()
+        dense_mask = estimates >= threshold
+        dense_values = np.flatnonzero(dense_mask).astype(np.int64)
+        dense_frequencies = estimates[dense_mask]
+        if dense_values.size:
+            target.subtract_frequencies(dense_values, dense_frequencies)
+    if _METRICS.enabled:
+        _record_skim_metrics("flat", threshold, int(dense_values.size))
     return SkimResult(dense_values, dense_frequencies, float(threshold)), target
 
 
@@ -172,18 +176,34 @@ def skim_dense_dyadic(
     if not np.isfinite(threshold):
         return SkimResult(_Empty().values, _Empty().frequencies, threshold), target
 
-    dense_values = target.heavy_values(threshold)
-    if dense_values.size == 0:
-        return SkimResult(_Empty().values, _Empty().frequencies, float(threshold)), target
+    with _METRICS.timer("skim.seconds"):
+        dense_values = target.heavy_values(threshold)
+        if dense_values.size == 0:
+            if _METRICS.enabled:
+                _record_skim_metrics("dyadic", threshold, 0)
+            return (
+                SkimResult(_Empty().values, _Empty().frequencies, float(threshold)),
+                target,
+            )
 
-    dense_frequencies = target.base_sketch.point_estimates(dense_values)
-    # The descent already filtered on the level-0 estimate, but guard against
-    # borderline values whose estimate is non-positive (possible only through
-    # median noise on adversarial inputs): extracting a non-positive
-    # "frequency" would *add* mass to the residual.
-    keep = dense_frequencies >= threshold
-    dense_values = dense_values[keep]
-    dense_frequencies = dense_frequencies[keep]
-    if dense_values.size:
-        target.subtract_frequencies(dense_values, dense_frequencies)
+        dense_frequencies = target.base_sketch.point_estimates(dense_values)
+        # The descent already filtered on the level-0 estimate, but guard against
+        # borderline values whose estimate is non-positive (possible only through
+        # median noise on adversarial inputs): extracting a non-positive
+        # "frequency" would *add* mass to the residual.
+        keep = dense_frequencies >= threshold
+        dense_values = dense_values[keep]
+        dense_frequencies = dense_frequencies[keep]
+        if dense_values.size:
+            target.subtract_frequencies(dense_values, dense_frequencies)
+    if _METRICS.enabled:
+        _record_skim_metrics("dyadic", threshold, int(dense_values.size))
     return SkimResult(dense_values, dense_frequencies, float(threshold)), target
+
+
+def _record_skim_metrics(kind: str, threshold: float, dense_count: int) -> None:
+    """Shared skim-pass telemetry (caller checks ``_METRICS.enabled``)."""
+    _METRICS.count("skim.passes")
+    _METRICS.count(f"skim.passes.{kind}")
+    _METRICS.count("skim.dense_extracted", dense_count)
+    _METRICS.gauge("skim.threshold", float(threshold))

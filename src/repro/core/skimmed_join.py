@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import IncompatibleSketchError
+from ..obs import METRICS as _METRICS
 from ..sketches.dyadic import DyadicHashSketch
 from ..sketches.hash_sketch import HashSketch
 from .skim import SkimResult, skim_dense, skim_dense_dyadic
@@ -157,15 +158,25 @@ def est_skim_join_size_from_parts(
         + np.sqrt(sj_g_dense * sj_f_res)
         + np.sqrt(sj_f_res * sj_g_res)
     )
-    return JoinEstimateBreakdown(
-        dense_dense=_dense_dense_join(f_skim, g_skim),
-        dense_sparse=est_sub_join_size(
+    with _METRICS.timer("estimate.term.dense_dense.seconds"):
+        dense_dense = _dense_dense_join(f_skim, g_skim)
+    with _METRICS.timer("estimate.term.dense_sparse.seconds"):
+        dense_sparse = est_sub_join_size(
             f_skim.dense_values, f_skim.dense_frequencies, g_skimmed
-        ),
-        sparse_dense=est_sub_join_size(
+        )
+    with _METRICS.timer("estimate.term.sparse_dense.seconds"):
+        sparse_dense = est_sub_join_size(
             g_skim.dense_values, g_skim.dense_frequencies, f_skimmed
-        ),
-        sparse_sparse=f_skimmed.est_join_size(g_skimmed),
+        )
+    with _METRICS.timer("estimate.term.sparse_sparse.seconds"):
+        sparse_sparse = f_skimmed.est_join_size(g_skimmed)
+    if _METRICS.enabled:
+        _METRICS.count("estimate.joins")
+    return JoinEstimateBreakdown(
+        dense_dense=dense_dense,
+        dense_sparse=dense_sparse,
+        sparse_dense=sparse_dense,
+        sparse_sparse=sparse_sparse,
         f_skim=f_skim,
         g_skim=g_skim,
         max_additive_error=float(bound),

@@ -15,6 +15,7 @@ from collections import defaultdict
 
 from ..core.estimator import SkimmedSketch, SkimmedSketchSchema
 from ..errors import IncompatibleSketchError, QueryError
+from ..obs import METRICS as _METRICS
 from .protocol import ProtocolError, RoundSummary, SketchReport
 
 
@@ -49,6 +50,8 @@ class SketchCoordinator:
         key = (report.site, report.stream)
         last = self._last_round.get(key, 0)
         if report.round_number <= last:
+            if _METRICS.enabled:
+                _METRICS.count("dist.reports.rejected")
             raise ProtocolError(
                 f"stale report: {key} round {report.round_number} "
                 f"(already at {last})"
@@ -57,6 +60,8 @@ class SketchCoordinator:
         if not isinstance(sketch, SkimmedSketch) or not self.schema.is_compatible(
             sketch.schema
         ):
+            if _METRICS.enabled:
+                _METRICS.count("dist.reports.rejected")
             raise IncompatibleSketchError(
                 f"report from {report.site!r} carries a sketch incompatible "
                 "with the fleet schema"
@@ -67,8 +72,14 @@ class SketchCoordinator:
         else:
             per_site[report.site] = sketch
         self._last_round[key] = report.round_number
-        self._bytes_received += report.size_in_bytes()
+        size = report.size_in_bytes()
+        self._bytes_received += size
         self._reports_merged += 1
+        if _METRICS.enabled:
+            _METRICS.count("dist.reports.received")
+            _METRICS.count("dist.bytes.received", size)
+            if report.round_number > _METRICS.gauge("dist.round.max").value:
+                _METRICS.gauge("dist.round.max", report.round_number)
 
     def receive_all(self, reports: list[SketchReport]) -> RoundSummary:
         """Absorb a batch of reports and summarise the round."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..core.estimator import SkimmedSketchSchema
 from ..errors import QueryError
+from ..obs import METRICS as _METRICS
 from .protocol import SketchReport
 
 #: Supported reporting modes.
@@ -105,6 +106,12 @@ class SketchSite:
             self._sketches = {
                 stream: self.schema.create_sketch() for stream in self._sketches
             }
+        if _METRICS.enabled:
+            _METRICS.count("dist.rounds.closed")
+            _METRICS.count("dist.reports.sent", len(reports))
+            _METRICS.count(
+                "dist.bytes.sent", sum(r.size_in_bytes() for r in reports)
+            )
         return reports
 
     def __repr__(self) -> str:

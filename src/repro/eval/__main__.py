@@ -7,18 +7,23 @@ Usage::
     python -m repro.eval figure5b --full-scale
     python -m repro.eval census --trials 5
     python -m repro.eval example1 dyadic-cost baseline-panel
+    python -m repro.eval smoke --metrics-out metrics.json
 
 Each experiment prints the same table its ``benchmarks/`` counterpart
 emits; ``--full-scale`` switches the workload sizes exactly like setting
-``REPRO_FULL_SCALE=1``.  See DESIGN.md for the experiment index.
+``REPRO_FULL_SCALE=1``.  ``--metrics-out PATH`` enables the
+:mod:`repro.obs` instrumentation for the run and writes the metrics
+snapshot to ``PATH`` as JSON (see docs/OBSERVABILITY.md).  See DESIGN.md
+for the experiment index.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable
+
+from ..obs import METRICS, write_snapshot
 
 from .figures import (
     ExperimentScale,
@@ -99,6 +104,24 @@ def _baseline_panel(scale: ExperimentScale, trials: int | None) -> str:
     return render_rows("Baseline panel (equal space)", rows)
 
 
+def _smoke(scale: ExperimentScale, trials: int | None) -> str:
+    """Seconds-scale end-to-end workload; drives the update, skim and join
+    estimation paths so ``--metrics-out`` snapshots cover them (this is
+    what ``make metrics-smoke`` runs)."""
+    from .runner import SweepConfig
+
+    tiny = ExperimentScale(
+        domain_size=1 << 10,
+        stream_total=10_000,
+        sweep=SweepConfig(
+            widths=(32,), depths=(3,), space_budgets=(96,), trials=trials or 1, seed=1
+        ),
+        label="smoke",
+    )
+    results = run_figure5(1.0, (5,), tiny, methods=("skimmed",))
+    return _figure5_output("Smoke (tiny Figure 5 workload)", results)
+
+
 EXPERIMENTS: dict[str, Callable[[ExperimentScale, int | None], str]] = {
     "figure5a": _figure5a,
     "figure5b": _figure5b,
@@ -108,6 +131,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale, int | None], str]] = {
     "dyadic-cost": _dyadic_cost,
     "threshold-ablation": _threshold_ablation,
     "baseline-panel": _baseline_panel,
+    "smoke": _smoke,
 }
 
 
@@ -130,6 +154,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trials", type=int, default=None, help="override the trial count"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable repro.obs instrumentation and write the metrics "
+        "snapshot to PATH as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -142,11 +173,30 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s) {unknown}; try 'list'")
 
     scale = full_scale() if args.full_scale else default_scale()
-    for name in args.experiments:
-        started = time.perf_counter()
-        print(f"== {name} ==")
-        print(EXPERIMENTS[name](scale, args.trials))
-        print(f"[{name} took {time.perf_counter() - started:.1f}s]\n")
+    if args.metrics_out:
+        # Fail fast on an unwritable path: the snapshot is written *after*
+        # the experiments, and losing a long run to a typo would sting.
+        try:
+            with open(args.metrics_out, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write --metrics-out path: {exc}")
+        METRICS.reset()
+        METRICS.enable()
+    try:
+        for name in args.experiments:
+            timer = METRICS.timer("eval.experiment.seconds")
+            print(f"== {name} ==")
+            with timer:
+                METRICS.count("eval.experiments")
+                print(EXPERIMENTS[name](scale, args.trials))
+            print(f"[{name} took {timer.elapsed:.1f}s]\n")
+        if args.metrics_out:
+            write_snapshot(args.metrics_out, METRICS.snapshot())
+            print(f"[metrics snapshot written to {args.metrics_out}]")
+    finally:
+        if args.metrics_out:
+            METRICS.disable()
     return 0
 
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..core.estimator import SkimmedSketch
 from ..core.skim import default_threshold, skim_dense
+from ..obs import METRICS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,39 @@ class SketchHealthReport:
             )
             lines.append(f"  sizing for target error: {verdict}")
         return "\n".join(lines)
+
+    def as_metrics(self, prefix: str = "health") -> dict[str, float]:
+        """The report as a flat ``{metric_name: value}`` gauge mapping.
+
+        This is the diagnostics→metrics bridge: the same numbers
+        :meth:`describe` prints, shaped for a metrics snapshot (and hence
+        for the JSON / Prometheus exporters).
+        """
+        gauges = {
+            f"{prefix}.width": float(self.width),
+            f"{prefix}.depth": float(self.depth),
+            f"{prefix}.domain_size": float(self.domain_size),
+            f"{prefix}.stream_size": float(self.stream_size),
+            f"{prefix}.second_moment": float(self.estimated_second_moment),
+            f"{prefix}.skew_score": float(self.skew_score),
+            f"{prefix}.skim_threshold": float(self.skim_threshold),
+            f"{prefix}.dense_values": float(self.dense_value_count),
+            f"{prefix}.dense_mass_fraction": float(self.dense_mass_fraction),
+        }
+        if self.recommended_width is not None:
+            gauges[f"{prefix}.recommended_width"] = float(self.recommended_width)
+        return gauges
+
+    def record(
+        self, registry: MetricsRegistry | None = None, prefix: str = "health"
+    ) -> None:
+        """Publish the report's gauges into a registry (default: the global one).
+
+        A no-op while the registry is disabled, like every other hook.
+        """
+        registry = registry if registry is not None else METRICS
+        for name, value in self.as_metrics(prefix).items():
+            registry.gauge(name, value)
 
 
 def sketch_health(

@@ -1,0 +1,51 @@
+"""Validate a metrics snapshot file against the schema.
+
+Usage::
+
+    python -m repro.obs snapshot.json [required-metric ...]
+
+Exits non-zero if the file is not a valid version-1 snapshot or if any of
+the listed metric names is absent (counters, gauges and histograms are
+all searched).  This is what ``make metrics-smoke`` runs after a
+``--metrics-out`` benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .export import validate_snapshot
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print(
+            "usage: python -m repro.obs snapshot.json [required-metric ...]",
+            file=sys.stderr,
+        )
+        return 2
+    path, required = argv[0], argv[1:]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            snapshot = validate_snapshot(json.load(fh))
+    except (OSError, ValueError) as exc:
+        print(f"invalid snapshot {path}: {exc}", file=sys.stderr)
+        return 1
+    names = (
+        set(snapshot["counters"])
+        | set(snapshot["gauges"])
+        | set(snapshot["histograms"])
+    )
+    missing = [metric for metric in required if metric not in names]
+    if missing:
+        print(f"{path}: missing required metrics {missing}", file=sys.stderr)
+        return 1
+    print(f"ok: {path} ({len(names)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

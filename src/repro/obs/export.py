@@ -1,0 +1,156 @@
+"""Exporters and schema validation for metrics snapshots.
+
+Two wire formats:
+
+* **JSON** — the snapshot dict verbatim (versioned, round-trippable);
+  this is what ``python -m repro.eval ... --metrics-out m.json`` writes
+  and what ``make metrics-smoke`` validates.
+* **Prometheus text exposition** — counters as ``*_total``, gauges
+  verbatim, histograms as summaries (``_count`` / ``_sum`` plus
+  ``quantile`` samples), all under a configurable name prefix with
+  metric names sanitised to ``[a-zA-Z0-9_]``.
+
+Both exporters operate on the *snapshot* (plain dicts), not on the
+registry, so a snapshot can be captured in-process and exported later —
+or shipped across a wire and exported coordinator-side.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+#: Snapshot schema version emitted by :meth:`MetricsRegistry.snapshot`.
+SNAPSHOT_VERSION = 1
+
+_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def snapshot_to_json(snapshot: dict, indent: int | None = 2) -> str:
+    """Serialise a snapshot as JSON (non-finite floats become strings)."""
+
+    def _default(obj: Any):
+        raise TypeError(f"snapshot contains non-serialisable value {obj!r}")
+
+    return json.dumps(_jsonable(snapshot), indent=indent, default=_default)
+
+
+def snapshot_from_json(text: str) -> dict:
+    """Parse and validate a JSON snapshot (inverse of :func:`snapshot_to_json`)."""
+    return validate_snapshot(json.loads(text), _restore_nonfinite=True)
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively replace non-finite floats (JSON has no inf/nan)."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # "inf" / "-inf" / "nan"
+    return value
+
+
+def _definite(value: Any) -> float:
+    """Undo :func:`_jsonable`'s non-finite encoding."""
+    if isinstance(value, str):
+        return float(value)
+    return float(value)
+
+
+def validate_snapshot(snapshot: Any, _restore_nonfinite: bool = False) -> dict:
+    """Check a snapshot against the schema; returns it (normalised).
+
+    Raises ``ValueError`` describing the first violation.  Used by the
+    ``make metrics-smoke`` target and the JSON round-trip path.
+    """
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"snapshot must be a dict, got {type(snapshot).__name__}")
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {snapshot.get('version')!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), dict):
+            raise ValueError(f"snapshot section {section!r} missing or not a dict")
+    out: dict = {"version": SNAPSHOT_VERSION, "counters": {}, "gauges": {}, "histograms": {}}
+    for section in ("counters", "gauges"):
+        for name, value in snapshot[section].items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"bad metric name {name!r} in {section}")
+            try:
+                out[section][name] = _definite(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{section}[{name!r}] is not numeric: {value!r}"
+                ) from None
+    for name, summary in snapshot["histograms"].items():
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"bad metric name {name!r} in histograms")
+        if not isinstance(summary, dict):
+            raise ValueError(f"histograms[{name!r}] must be a dict")
+        missing = [f for f in _HISTOGRAM_FIELDS if f not in summary]
+        if missing:
+            raise ValueError(f"histograms[{name!r}] missing fields {missing}")
+        fields = {}
+        for field in _HISTOGRAM_FIELDS:
+            try:
+                fields[field] = _definite(summary[field])
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"histograms[{name!r}][{field!r}] is not numeric: "
+                    f"{summary[field]!r}"
+                ) from None
+        if fields["count"] < 0 or fields["count"] != int(fields["count"]):
+            raise ValueError(f"histograms[{name!r}]['count'] must be a whole number >= 0")
+        fields["count"] = int(fields["count"])
+        out["histograms"][name] = fields
+    if not _restore_nonfinite:
+        return snapshot
+    return out
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    validate_snapshot(snapshot)
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        full = f"{prefix}_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_prom_value(_definite(value))}")
+    for name, value in snapshot["gauges"].items():
+        full = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_prom_value(_definite(value))}")
+    for name, summary in snapshot["histograms"].items():
+        full = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {full} summary")
+        for quantile, field in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(
+                f'{full}{{quantile="{quantile}"}} '
+                f"{_prom_value(_definite(summary[field]))}"
+            )
+        lines.append(f"{full}_sum {_prom_value(_definite(summary['sum']))}")
+        lines.append(f"{full}_count {int(_definite(summary['count']))}")
+    return "\n".join(lines) + "\n"
+
+
+def write_snapshot(path: str, snapshot: dict) -> None:
+    """Write a snapshot to ``path`` as JSON (the ``--metrics-out`` format)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(snapshot_to_json(snapshot))
+        fh.write("\n")

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import IncompatibleSketchError
+from ..obs import METRICS as _METRICS
 from .base import StreamSynopsis
 from .hash_sketch import HashSketch, HashSketchSchema
 
@@ -192,6 +193,8 @@ class DyadicHashSketch(StreamSynopsis):
         for level in range(top, -1, -1):
             if candidates.size == 0:
                 return candidates
+            if _METRICS.enabled:
+                _METRICS.count("skim.dyadic.probes", int(candidates.size))
             estimates = self._levels[level].point_estimates(candidates)
             candidates = candidates[estimates >= threshold]
             if level > 0:

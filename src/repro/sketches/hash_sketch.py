@@ -34,6 +34,7 @@ import numpy as np
 
 from ..errors import DomainError, IncompatibleSketchError
 from ..hashing import FourWiseSignFamily, PairwiseBucketHash
+from ..obs import METRICS as _METRICS
 from .base import StreamSynopsis
 
 
@@ -153,6 +154,10 @@ class HashSketch(StreamSynopsis):
         signs = self._schema.signs.signs(value)[:, 0]
         self._counters[self._table_index, buckets] += weight * signs
         self._absolute_mass += abs(weight)
+        if _METRICS.enabled:
+            _METRICS.count("sketch.update.elements")
+            if weight < 0:
+                _METRICS.count("sketch.update.deletions")
 
     def update_bulk(self, values: np.ndarray, weights: np.ndarray | None = None) -> None:
         values = np.asarray(values, dtype=np.int64)
@@ -168,6 +173,12 @@ class HashSketch(StreamSynopsis):
                 raise ValueError("weights must have the same shape as values")
         self._apply_point_masses(values, weights)
         self._absolute_mass += float(np.abs(weights).sum())
+        if _METRICS.enabled:
+            _METRICS.count("sketch.update.elements", int(values.size))
+            _METRICS.count("sketch.update.batches")
+            deletions = int(np.count_nonzero(weights < 0))
+            if deletions:
+                _METRICS.count("sketch.update.deletions", deletions)
 
     def size_in_counters(self) -> int:
         return int(self._counters.size)

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Iterable
 import numpy as np
 
 from ..errors import QueryError
+from ..obs import METRICS as _METRICS
 from ..sketches.agms import AGMSSchema, AGMSSketch
 from ..sketches.hash_sketch import HashSketch, HashSketchSchema
 from ..streams.model import Update
@@ -161,8 +162,14 @@ class StreamEngine:
         registered.elements_seen += 1
         if not registered.predicate.accepts(value):
             registered.elements_dropped += 1
+            if _METRICS.enabled:
+                _METRICS.count("engine.elements.seen")
+                _METRICS.count("engine.elements.dropped")
             return
         registered.synopsis.update(value, weight)
+        if _METRICS.enabled:
+            _METRICS.count("engine.elements.seen")
+            _METRICS.count(f"engine.stream.{stream}.elements")
 
     def process_many(self, stream: str, updates: Iterable[Update]) -> None:
         """Feed a finite update stream element by element."""
@@ -181,8 +188,13 @@ class StreamEngine:
             dtype=bool,
             count=values.size,
         )
-        registered.elements_dropped += int(values.size - keep.sum())
-        if not keep.any():
+        kept = int(keep.sum())
+        registered.elements_dropped += int(values.size - kept)
+        if _METRICS.enabled:
+            _METRICS.count("engine.elements.seen", int(values.size))
+            _METRICS.count("engine.elements.dropped", int(values.size - kept))
+            _METRICS.count(f"engine.stream.{stream}.elements", kept)
+        if not kept:
             return
         kept_weights = None if weights is None else np.asarray(weights)[keep]
         registered.synopsis.update_bulk(values[keep], kept_weights)
@@ -237,13 +249,14 @@ class StreamEngine:
         """
         from .sql import parse_query
 
-        parsed = parse_query(text)
-        if parsed.predicates:
-            raise QueryError(
-                "this query has WHERE predicates; set it up with "
-                "prepare_sql() before ingesting elements"
-            )
-        return self.answer(parsed.query)
+        with _METRICS.timer("engine.sql.seconds"):
+            parsed = parse_query(text)
+            if parsed.predicates:
+                raise QueryError(
+                    "this query has WHERE predicates; set it up with "
+                    "prepare_sql() before ingesting elements"
+                )
+            return self.answer(parsed.query)
 
     @staticmethod
     def _streams_named_by(query: Query) -> tuple[str, ...]:
@@ -261,6 +274,14 @@ class StreamEngine:
 
     def answer(self, query: Query) -> float:
         """Approximate answer to a §2.1 query from the maintained synopses."""
+        if _METRICS.enabled:
+            _METRICS.count("engine.queries")
+            _METRICS.count(f"engine.queries.{type(query).__name__}")
+            with _METRICS.timer("engine.answer.seconds"):
+                return self._answer(query)
+        return self._answer(query)
+
+    def _answer(self, query: Query) -> float:
         if isinstance(query, JoinCountQuery):
             return self._join_size(query.left, query.right)
         if isinstance(query, JoinSumQuery):

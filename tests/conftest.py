@@ -10,11 +10,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.obs import METRICS
 from repro.streams.generators import shifted_zipf_pair, zipf_frequencies
 from repro.streams.model import FrequencyVector
 
 SMALL_DOMAIN = 256
 MEDIUM_DOMAIN = 4096
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Keep the global metrics registry disabled and empty between tests."""
+    METRICS.disable()
+    METRICS.reset()
+    yield
+    METRICS.disable()
+    METRICS.reset()
 
 
 @pytest.fixture

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.eval.__main__ import EXPERIMENTS, main
+from repro.obs import METRICS, validate_snapshot
 
 
 class TestCLI:
@@ -34,6 +37,49 @@ class TestCLI:
 
     def test_trials_flag_parses(self, capsys):
         assert main(["example1", "--trials", "2"]) == 0
+
+    def test_smoke_experiment_runs(self, capsys):
+        assert main(["smoke"]) == 0
+        assert "Smoke" in capsys.readouterr().out
+
+
+class TestMetricsOut:
+    def test_metrics_out_writes_valid_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["smoke", "--metrics-out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert f"metrics snapshot written to {out}" in stdout
+        snap = validate_snapshot(json.loads(out.read_text()))
+        # The smoke workload must exercise update, skim and estimate paths.
+        assert snap["counters"]["sketch.update.elements"] > 0
+        assert snap["counters"]["skim.passes"] > 0
+        assert snap["counters"]["estimate.joins"] > 0
+        assert snap["counters"]["eval.experiments"] == 1
+        assert snap["histograms"]["eval.experiment.seconds"]["count"] == 1
+        assert snap["histograms"]["skim.seconds"]["count"] > 0
+
+    def test_metrics_out_disables_registry_afterwards(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["example1", "--metrics-out", str(out)]) == 0
+        assert not METRICS.enabled
+        validate_snapshot(json.loads(out.read_text()))
+
+    def test_snapshot_validator_cli(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        out = tmp_path / "m.json"
+        assert main(["smoke", "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        assert obs_main([str(out), "sketch.update.elements", "skim.passes"]) == 0
+        assert obs_main([str(out), "no.such.metric"]) == 1
+        assert obs_main([]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert obs_main([str(bad)]) == 1
+
+    def test_without_metrics_out_nothing_is_recorded(self, capsys):
+        assert main(["example1"]) == 0
+        assert list(METRICS.metric_names()) == []
 
 
 class TestFigureOutput:

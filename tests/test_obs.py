@@ -1,0 +1,360 @@
+"""Unit and property tests for the ``repro.obs`` metrics subsystem."""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs
+from repro.obs import (
+    METRICS,
+    MetricsRegistry,
+    capturing,
+    snapshot_from_json,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+bounded_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCounterGauge:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        assert g.value == 0.0
+        g.set(7)
+        g.set(-1.5)
+        assert g.value == -1.5
+
+    @given(st.lists(bounded_floats))
+    def test_counter_matches_running_sum(self, increments):
+        c = Counter("x")
+        for amount in increments:
+            c.inc(amount)
+        assert c.value == pytest.approx(sum(increments), abs=1e-6)
+
+
+class TestHistogram:
+    @given(st.lists(bounded_floats, min_size=1))
+    @settings(max_examples=50)
+    def test_summary_invariants(self, values):
+        h = Histogram("h")
+        for v in values:
+            h.record(v)
+        s = h.summary()
+        assert s["count"] == len(values)
+        assert s["sum"] == pytest.approx(math.fsum(values), abs=1e-5)
+        assert s["min"] == min(values)
+        assert s["max"] == max(values)
+        assert s["mean"] == pytest.approx(math.fsum(values) / len(values), abs=1e-5)
+        assert s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+    def test_empty_summary_is_all_zero(self):
+        s = Histogram("h").summary()
+        assert s == {
+            "count": 0,
+            "sum": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_reservoir_is_bounded(self):
+        h = Histogram("h", reservoir_size=16)
+        for i in range(10_000):
+            h.record(float(i))
+        assert len(h._samples) == 16  # noqa: SLF001
+        assert h.count == 10_000
+        assert h.min == 0.0 and h.max == 9999.0
+
+    @given(st.lists(bounded_floats, min_size=1, max_size=200))
+    def test_recording_is_deterministic(self, values):
+        a, b = Histogram("same", reservoir_size=32), Histogram("same", reservoir_size=32)
+        for v in values:
+            a.record(v)
+            b.record(v)
+        assert a.summary() == b.summary()
+
+    def test_percentile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_exact_percentiles_on_small_sample(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 3.0
+
+
+class TestRegistry:
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.count("a")
+        reg.gauge("b", 3.0)
+        reg.observe("c", 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"].get("b", 0.0) == 0.0
+        assert snap["histograms"].get("c", {"count": 0})["count"] == 0
+
+    def test_enable_disable_toggle(self):
+        reg = MetricsRegistry()
+        assert not reg.enabled
+        reg.enable()
+        reg.count("a", 2)
+        reg.disable()
+        reg.count("a", 100)
+        assert reg.counter_value("a") == 2.0
+
+    def test_reset_clears_values_but_keeps_switch(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.count("a")
+        reg.gauge("g", 5)
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.enabled
+        assert list(reg.metric_names()) == []
+        assert reg.counter_value("a") == 0.0
+        assert reg.gauge_value("g") == 0.0
+
+    def test_unknown_metrics_read_as_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("nope") == 0.0
+        assert reg.gauge_value("nope") == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["count", "gauge", "observe"]),
+                st.sampled_from(["m1", "m2", "m3"]),
+                bounded_floats,
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_snapshot_matches_model(self, ops):
+        reg = MetricsRegistry(enabled=True)
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        observations: dict[str, list[float]] = {}
+        for kind, name, value in ops:
+            if kind == "count":
+                reg.count(name, value)
+                counters[name] = counters.get(name, 0.0) + value
+            elif kind == "gauge":
+                reg.gauge(name, value)
+                gauges[name] = value
+            else:
+                reg.observe(name, value)
+                observations.setdefault(name, []).append(value)
+        snap = reg.snapshot()
+        assert set(snap["counters"]) == set(counters)
+        for name, total in counters.items():
+            assert snap["counters"][name] == pytest.approx(total, abs=1e-6)
+        assert snap["gauges"] == {n: pytest.approx(v) for n, v in gauges.items()}
+        for name, values in observations.items():
+            assert snap["histograms"][name]["count"] == len(values)
+
+    def test_snapshot_readable_while_disabled(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.count("a", 4)
+        reg.disable()
+        assert reg.snapshot()["counters"] == {"a": 4.0}
+
+
+class TestTimer:
+    def test_records_into_histogram_when_enabled(self):
+        reg = MetricsRegistry(enabled=True)
+        with reg.timer("t.seconds") as t:
+            pass
+        assert t.elapsed is not None and t.elapsed >= 0.0
+        assert reg.snapshot()["histograms"]["t.seconds"]["count"] == 1
+
+    def test_elapsed_available_while_disabled_but_not_recorded(self):
+        reg = MetricsRegistry(enabled=False)
+        with reg.timer("t.seconds") as t:
+            pass
+        assert t.elapsed is not None
+        assert "t.seconds" not in reg.snapshot()["histograms"]
+
+    def test_decorator_times_each_call(self):
+        reg = MetricsRegistry(enabled=True)
+
+        @reg.timer("fn.seconds")
+        def fn(x):
+            return x * 2
+
+        assert fn(21) == 42
+        assert fn(1) == 2
+        assert reg.snapshot()["histograms"]["fn.seconds"]["count"] == 2
+
+    def test_records_even_when_block_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(RuntimeError):
+            with reg.timer("t.seconds"):
+                raise RuntimeError("boom")
+        assert reg.snapshot()["histograms"]["t.seconds"]["count"] == 1
+
+
+class TestGlobalHelpers:
+    def test_capturing_restores_previous_state(self):
+        METRICS.disable()
+        with capturing() as reg:
+            assert reg is METRICS
+            assert METRICS.enabled
+            METRICS.count("inside")
+        assert not METRICS.enabled
+        assert METRICS.counter_value("inside") == 1.0
+
+    def test_capturing_fresh_resets(self):
+        METRICS.enable()
+        METRICS.count("stale")
+        with capturing(fresh=True):
+            assert METRICS.counter_value("stale") == 0.0
+        assert METRICS.enabled  # previous state restored
+
+    def test_module_level_switch(self):
+        repro.obs.enable()
+        assert repro.obs.is_enabled()
+        repro.obs.disable()
+        assert not repro.obs.is_enabled()
+        repro.obs.reset()
+        assert repro.obs.snapshot()["counters"] == {}
+
+
+class TestExporters:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry(enabled=True)
+        reg.count("sketch.update.elements", 100)
+        reg.count("skim.passes", 2)
+        reg.gauge("skim.threshold", 12.5)
+        for v in (0.001, 0.002, 0.004):
+            reg.observe("skim.seconds", v)
+        return reg
+
+    def test_json_round_trip(self):
+        snap = self._populated().snapshot()
+        assert snapshot_from_json(snapshot_to_json(snap)) == snap
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["count", "gauge", "observe"]),
+                st.sampled_from(["a.b", "c-d", "e f", "g"]),
+                bounded_floats,
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_json_round_trip_property(self, ops):
+        reg = MetricsRegistry(enabled=True)
+        for kind, name, value in ops:
+            getattr(reg, kind)(name, value)
+        snap = reg.snapshot()
+        assert snapshot_from_json(snapshot_to_json(snap)) == snap
+
+    def test_json_round_trip_with_nonfinite_gauge(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("skim.threshold", float("inf"))
+        snap = reg.snapshot()
+        restored = snapshot_from_json(snapshot_to_json(snap))
+        assert restored["gauges"]["skim.threshold"] == float("inf")
+
+    def test_write_snapshot_is_valid_json_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_snapshot(str(path), self._populated().snapshot())
+        assert snapshot_from_json(path.read_text())["counters"]["skim.passes"] == 2.0
+
+    def test_prometheus_rendering(self):
+        text = snapshot_to_prometheus(self._populated().snapshot())
+        assert "# TYPE repro_sketch_update_elements_total counter" in text
+        assert "repro_sketch_update_elements_total 100.0" in text
+        assert "# TYPE repro_skim_threshold gauge" in text
+        assert "# TYPE repro_skim_seconds summary" in text
+        assert 'repro_skim_seconds{quantile="0.5"}' in text
+        assert "repro_skim_seconds_count 3" in text
+        # exposition names must be [a-zA-Z0-9_:]
+        for line in text.splitlines():
+            metric = line.split()[1 if line.startswith("#") else 0]
+            name = metric.split("{")[0]
+            assert all(c.isalnum() or c == "_" for c in name), line
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            42,
+            {},
+            {"version": 99, "counters": {}, "gauges": {}, "histograms": {}},
+            {"version": 1, "counters": [], "gauges": {}, "histograms": {}},
+            {"version": 1, "counters": {"a": "x"}, "gauges": {}, "histograms": {}},
+            {"version": 1, "counters": {}, "gauges": {}, "histograms": {"h": {}}},
+            {
+                "version": 1,
+                "counters": {},
+                "gauges": {},
+                "histograms": {"h": {f: -1.5 for f in
+                               ("count", "sum", "min", "max", "mean",
+                                "p50", "p95", "p99")}},
+            },
+        ],
+    )
+    def test_validate_rejects_malformed_snapshots(self, bad):
+        with pytest.raises(ValueError):
+            validate_snapshot(bad)
+
+    def test_validate_accepts_registry_snapshots(self):
+        snap = self._populated().snapshot()
+        assert validate_snapshot(snap) is snap
+
+
+class TestImportCost:
+    """`repro.obs` must stay importable without heavy dependencies."""
+
+    def _obs_package_dir(self) -> str:
+        return str(pathlib.Path(repro.obs.__file__).parent.parent)
+
+    def test_obs_does_not_import_numpy(self):
+        code = (
+            "import sys; sys.path.insert(0, {path!r}); import obs; "
+            "assert 'numpy' not in sys.modules, "
+            "'repro.obs must not import numpy'"
+        ).format(path=self._obs_package_dir())
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_obs_import_time_stays_small(self):
+        code = (
+            "import sys, time; sys.path.insert(0, {path!r}); "
+            "t = time.perf_counter(); import obs; "
+            "print(time.perf_counter() - t)"
+        ).format(path=self._obs_package_dir())
+        out = subprocess.run(
+            [sys.executable, "-c", code], check=True, capture_output=True, text=True
+        )
+        elapsed = float(out.stdout.strip())
+        assert elapsed < 0.5, f"repro.obs import took {elapsed:.3f}s"

@@ -1,0 +1,90 @@
+"""Guard against instrumentation slowing the update hot path.
+
+The obs hooks in :meth:`HashSketch.update_bulk` are one attribute read
+and one branch per *batch* when disabled, so a 100k-element bulk update
+must run within a small factor of the uninstrumented kernel
+(:meth:`HashSketch._apply_point_masses` plus the mass update) that does
+all the real work.  A regression here means someone put per-element
+Python work on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.obs import METRICS
+from repro.sketches.hash_sketch import HashSketchSchema
+
+N_ELEMENTS = 100_000
+REPEATS = 5
+# update_bulk legitimately adds input validation (min/max domain checks,
+# dtype coercion) on top of the kernel; the budget allows for that plus
+# generous CI timing noise, while still catching any per-element loop.
+MAX_FACTOR = 3.0
+SLACK_SECONDS = 0.005
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_update_bulk_matches_uninstrumented_kernel(rng):
+    assert not METRICS.enabled  # the conftest fixture guarantees this
+    schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
+    values = rng.integers(0, 1 << 16, size=N_ELEMENTS).astype(np.int64)
+    weights = np.ones(N_ELEMENTS)
+
+    kernel_sketch = schema.create_sketch()
+
+    def kernel():
+        kernel_sketch._apply_point_masses(values, weights)  # noqa: SLF001
+        kernel_sketch._absolute_mass += float(np.abs(weights).sum())  # noqa: SLF001
+
+    instrumented_sketch = schema.create_sketch()
+
+    def instrumented():
+        instrumented_sketch.update_bulk(values, weights)
+
+    # Warm both paths (hash-family caches, numpy dispatch) before timing.
+    kernel()
+    instrumented()
+    kernel_time = _best_of(REPEATS, kernel)
+    instrumented_time = _best_of(REPEATS, instrumented)
+
+    budget = kernel_time * MAX_FACTOR + SLACK_SECONDS
+    assert instrumented_time <= budget, (
+        f"update_bulk took {instrumented_time * 1e3:.2f}ms vs kernel "
+        f"{kernel_time * 1e3:.2f}ms (budget {budget * 1e3:.2f}ms) — "
+        "instrumentation overhead regressed on the hot path"
+    )
+
+
+def test_enabled_update_bulk_overhead_is_batch_level(rng):
+    """Even *enabled*, bulk instrumentation is per-batch, not per-element."""
+    schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
+    values = rng.integers(0, 1 << 16, size=N_ELEMENTS).astype(np.int64)
+
+    disabled_sketch = schema.create_sketch()
+    disabled_sketch.update_bulk(values)  # warm
+    disabled = _best_of(REPEATS, lambda: disabled_sketch.update_bulk(values))
+
+    METRICS.enable()
+    try:
+        enabled_sketch = schema.create_sketch()
+        enabled_sketch.update_bulk(values)  # warm
+        enabled = _best_of(REPEATS, lambda: enabled_sketch.update_bulk(values))
+    finally:
+        METRICS.disable()
+        METRICS.reset()
+
+    assert enabled <= disabled * MAX_FACTOR + SLACK_SECONDS, (
+        f"enabled update_bulk {enabled * 1e3:.2f}ms vs disabled "
+        f"{disabled * 1e3:.2f}ms — recording must stay per-batch"
+    )
