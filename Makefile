@@ -2,13 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples metrics-smoke clean
+.PHONY: install test bench experiments examples metrics-smoke lint check clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis: the domain-invariant linter (always) plus mypy strict
+# on the kernel packages (when mypy is installed — `pip install -e .[lint]`).
+# See docs/STATIC_ANALYSIS.md for the rule catalogue.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src tests examples benchmarks
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping type check (pip install -e .[lint])"; \
+	fi
+
+# Umbrella gate: everything CI runs.
+check: lint test metrics-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

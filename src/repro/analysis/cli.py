@@ -1,0 +1,90 @@
+"""``python -m repro.analysis`` — the linter's command-line front end.
+
+Exit codes (stable contract, relied on by ``make lint`` and CI):
+
+* ``0`` — every analysed file is clean;
+* ``1`` — at least one finding survived suppression;
+* ``2`` — usage error (unknown flag, unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .engine import analyze_paths
+from .registry import all_rules, catalogue
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (separate for testability/docs)."""
+    rule_ids = ", ".join(rule.rule_id for rule in all_rules())
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Domain-invariant static analysis for the skimmed-sketch "
+            f"kernels (rules: {rule_ids}; see docs/STATIC_ANALYSIS.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--catalogue",
+        action="store_true",
+        help="print the rule catalogue (derived from rule docstrings) and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.catalogue:
+        try:
+            print("\n".join(catalogue()))
+        except BrokenPipeError:  # `... --catalogue | head` closed the pipe
+            sys.stderr.close()
+        return 0
+
+    select: list[str] | None = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        if not select:
+            parser.error("--select given but no rule ids parsed")
+
+    try:
+        report = analyze_paths(args.paths, select=select)
+    except KeyError as exc:
+        parser.error(f"unknown rule id {exc.args[0]!r}")
+    except FileNotFoundError as exc:
+        parser.error(f"no such file or directory: {exc.args[0]}")
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files_scanned} "
+            f"file(s) ({report.suppressed} suppressed)"
+        )
+        print(summary if report.findings else f"clean: {summary}", file=sys.stderr)
+    return report.exit_code()

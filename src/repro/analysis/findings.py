@@ -1,0 +1,55 @@
+"""Finding: one rule violation at one source location.
+
+Findings are plain, hashable value objects so the engine can sort,
+deduplicate, count and serialise them without any further machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pseudo-rule id attached to files the engine cannot parse at all.
+PARSE_ERROR_RULE = "E1"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single ``file:line:col`` diagnostic emitted by one rule.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``R1`` .. ``R6``, or ``E1`` for syntax errors).
+    path:
+        Path of the offending file, as given to the engine.
+    line:
+        1-based source line of the offending node.
+    col:
+        0-based column of the offending node.
+    message:
+        Human-readable description of the violated invariant.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the human report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (see ``docs/STATIC_ANALYSIS.md``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

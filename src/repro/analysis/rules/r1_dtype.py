@@ -1,0 +1,67 @@
+"""R1 — dtype discipline in kernel modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_keyword, is_numpy_attr
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Array factories whose default dtype depends on the input (or silently
+#: becomes float64), which is how int64/float64 discipline erodes.
+FACTORIES = frozenset({"asarray", "zeros", "empty"})
+
+
+@register
+class DtypeDiscipline(Rule):
+    """Kernel array construction must pass an explicit ``dtype``.
+
+    The sketch kernels are vectorised numpy code whose correctness *and*
+    throughput depend on stable dtypes: domain values are ``int64``,
+    counters and frequencies are ``float64`` (hash evaluation uses
+    ``uint64`` internally).  ``np.asarray`` / ``np.zeros`` / ``np.empty``
+    without ``dtype=`` inherit whatever the caller passed — an
+    ``object`` or ``float32`` array entering ``update_bulk`` silently
+    changes estimate semantics and kills vectorisation.  This rule flags
+    every such call in ``repro.sketches`` / ``repro.hashing`` /
+    ``repro.core``.
+
+    Example violation::
+
+        counters = np.zeros((depth, width))          # R1
+
+    Fix::
+
+        counters = np.zeros((depth, width), dtype=np.float64)
+
+    Suppress (only where the *point* is dtype dispatch on the input)::
+
+        arr = np.asarray(values)  # repro: noqa[R1]
+    """
+
+    rule_id = "R1"
+    title = "explicit dtype in kernel array construction"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role is Role.KERNEL
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or not is_numpy_attr(func, FACTORIES):
+                continue
+            if call_keyword(node, "dtype") is not None:
+                continue
+            name = func.attr
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"np.{name} in kernel code must pass an explicit dtype "
+                "(int64 for domain values, float64 for counters)",
+            )

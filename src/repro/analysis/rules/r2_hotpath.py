@@ -1,0 +1,240 @@
+"""R2 — hot-path purity: no Python-level per-element work in kernels."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..astutil import NUMPY_ALIASES, annotation_mentions, is_numpy_attr
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Function names treated as hot paths (paper: update cost is O(depth),
+#: estimation must be a vectorised pass).
+HOT_NAME_RE = re.compile(r"^_?(update|ingest|est|skim|heavy|point_|all_point)")
+
+#: numpy module-level callables that return ndarrays — used to infer
+#: which local expressions are arrays.
+ARRAY_FACTORIES = frozenset(
+    {
+        "asarray",
+        "array",
+        "atleast_1d",
+        "arange",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "zeros_like",
+        "ones_like",
+        "empty_like",
+        "full_like",
+        "flatnonzero",
+        "nonzero",
+        "where",
+        "unique",
+        "sort",
+        "argsort",
+        "concatenate",
+        "bincount",
+        "cumsum",
+        "diff",
+        "repeat",
+        "tile",
+        "abs",
+        "sqrt",
+        "median",
+        "sign",
+        "minimum",
+        "maximum",
+        "einsum",
+        "broadcast_to",
+    }
+)
+
+#: Annotation substrings that mark a parameter/variable as an ndarray.
+ARRAY_ANNOTATIONS = frozenset({"ndarray", "NDArray"})
+
+
+def _is_hot(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return HOT_NAME_RE.match(func.name) is not None
+
+
+class _ArrayTracker:
+    """Best-effort inference of which expressions are ndarrays.
+
+    Tracks names bound from numpy factory calls or annotated as arrays;
+    subscripts, array methods and arithmetic on arrays stay arrays.  This
+    is a linter heuristic, not a type system — precision only needs to be
+    good enough to catch ``for x in arr`` shapes.
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.array_names: set[str] = set()
+        args = func.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            if annotation_mentions(arg.annotation, ARRAY_ANNOTATIONS):
+                self.array_names.add(arg.arg)
+        # Two passes over simple assignments so later rebindings count.
+        for _ in range(2):
+            for node in ast.walk(func):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value: ast.expr | None = node.value
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                    value = node.value
+                    if annotation_mentions(node.annotation, ARRAY_ANNOTATIONS):
+                        if isinstance(node.target, ast.Name):
+                            self.array_names.add(node.target.id)
+                else:
+                    continue
+                if value is not None and self.is_array(value):
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            self.array_names.add(target.id)
+
+    def is_array(self, node: ast.expr) -> bool:
+        """Heuristic: does ``node`` evaluate to an ndarray?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.array_names
+        if isinstance(node, ast.Subscript):
+            return self.is_array(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.is_array(node.left) or self.is_array(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_array(node.operand)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if is_numpy_attr(func, ARRAY_FACTORIES):
+                    return True
+                # Array method returning an array: arr.copy(), arr.astype(...)
+                if func.attr != "tolist" and self.is_array(func.value):
+                    return True
+            return False
+        return False
+
+    def iterates_array(self, iterable: ast.expr) -> bool:
+        """Does a ``for``/comprehension over ``iterable`` walk an ndarray?"""
+        if self.is_array(iterable):
+            return True
+        if isinstance(iterable, ast.Call) and isinstance(iterable.func, ast.Name):
+            if iterable.func.id in {"zip", "enumerate", "reversed", "sorted", "list"}:
+                return any(self.iterates_array(arg) for arg in iterable.args)
+        return False
+
+
+@register
+class HotPathPurity(Rule):
+    """Kernel update/estimate paths must stay vectorised.
+
+    The paper's headline guarantee is ``O(depth)`` per-element update cost
+    and one vectorised pass per estimate; in this repo that translates to
+    *numpy kernels with no Python-level per-element iteration*.  Inside
+    hot functions (names starting with ``update``/``ingest``/``est``/
+    ``skim``/``heavy``/``point_``/``all_point``) of kernel modules this
+    rule flags:
+
+    * ``for`` loops and comprehensions that iterate over an ndarray
+      (directly, via ``zip``/``enumerate``, or via a slice of one);
+    * ``.tolist()`` — materialises an array into a Python list;
+    * per-element ``point_estimate`` calls inside a loop — use the
+      vectorised ``point_estimates`` instead.
+
+    Loops over ``range(...)`` (e.g. one iteration per hash table) are
+    fine: they are O(depth), not O(elements).
+
+    Example violation::
+
+        def update_bulk(self, values: np.ndarray) -> None:
+            for v in values:                     # R2
+                self.update(int(v))
+
+    Fix: use the vectorised kernel (``buckets``/``signs`` evaluate whole
+    value vectors; ``np.bincount`` folds them into counters).
+    """
+
+    rule_id = "R2"
+    title = "no per-element Python loops in kernel hot paths"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role is Role.KERNEL
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_hot(func):
+                continue
+            yield from self._check_function(ctx, func)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        tracker = _ArrayTracker(func)
+        loop_depth = 0
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            nonlocal loop_depth
+            entered_loop = False
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+                return  # nested defs get their own hot/cold decision
+            if isinstance(node, ast.For) and tracker.iterates_array(node.iter):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "Python for-loop over an ndarray in a kernel hot path "
+                    "(vectorise with numpy instead)",
+                )
+            if isinstance(node, ast.comprehension) and tracker.iterates_array(node.iter):
+                yield self.finding(
+                    ctx,
+                    node.iter.lineno,
+                    node.iter.col_offset,
+                    "comprehension over an ndarray in a kernel hot path "
+                    "(vectorise with numpy instead)",
+                )
+            if isinstance(
+                node,
+                (ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                entered_loop = True
+                loop_depth += 1
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "tolist":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        ".tolist() in a kernel hot path materialises the "
+                        "array into a Python list",
+                    )
+                if node.func.attr == "point_estimate" and loop_depth > 0:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "per-element point_estimate inside a loop; use the "
+                        "vectorised point_estimates",
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            if entered_loop:
+                loop_depth -= 1
+
+        for child in ast.iter_child_nodes(func):
+            yield from visit(child)
+
+
+__all__ = ["HotPathPurity", "HOT_NAME_RE", "ARRAY_FACTORIES", "NUMPY_ALIASES"]

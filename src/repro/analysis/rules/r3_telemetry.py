@@ -1,0 +1,130 @@
+"""R3 — telemetry recording must sit behind the ``METRICS.enabled`` flag."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: The conventional names the process-wide registry is imported under.
+METRICS_NAME_RE = re.compile(r"^_?METRICS$")
+
+#: Registry methods that record (everything the disabled-overhead
+#: guarantee is about).  Administrative methods (enable/disable/reset/
+#: snapshot/metric_names/counter_value/gauge_value) are free to call.
+RECORDING_METHODS = frozenset(
+    {"count", "counter", "gauge", "histogram", "observe", "timer"}
+)
+
+
+def _is_metrics_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and METRICS_NAME_RE.match(node.id) is not None
+
+
+def _mentions_enabled(test: ast.expr) -> bool:
+    """Does ``test`` read ``<METRICS>.enabled``?"""
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "enabled"
+            and _is_metrics_name(node.value)
+        ):
+            return True
+    return False
+
+
+def _is_guard_return(stmt: ast.stmt) -> bool:
+    """``if not METRICS.enabled: return`` (early-exit guard) detection."""
+    if not isinstance(stmt, ast.If) or not _mentions_enabled(stmt.test):
+        return False
+    return any(isinstance(s, (ast.Return, ast.Raise)) for s in stmt.body)
+
+
+@register
+class GuardedTelemetry(Rule):
+    """Every ``_METRICS`` recording call must be guarded by ``.enabled``.
+
+    PR 1's observability layer promises that *disabled* instrumentation
+    costs one attribute read and one branch per call site.  That only
+    holds if every recording call (``count`` / ``gauge`` / ``observe`` /
+    ``histogram`` / ``timer`` / ``counter``) is lexically behind a branch
+    on the registry's ``enabled`` flag.  Accepted guard shapes::
+
+        if _METRICS.enabled:
+            _METRICS.count("sketch.update.elements")
+
+        with _METRICS.timer("skim.seconds") if _METRICS.enabled \\
+                else nullcontext():
+            ...
+
+        def _record(...):
+            if not _METRICS.enabled:
+                return          # early-exit guard; rest of body is guarded
+            _METRICS.count(...)
+
+    Example violation::
+
+        _METRICS.count("engine.queries")       # R3 (no guard in sight)
+
+    Suppress only where the timer's wall-clock reading is itself the
+    product (e.g. printing elapsed seconds regardless of telemetry)::
+
+        with _METRICS.timer("eval.seconds") as t:  # repro: noqa[R3]
+    """
+
+    rule_id = "R3"
+    title = "metrics recording guarded by the enabled flag"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role in (Role.KERNEL, Role.LIBRARY)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(ctx.tree)), False)
+
+    def _visit_block(
+        self, ctx: FileContext, nodes: list[ast.AST], guarded: bool
+    ) -> Iterator[Finding]:
+        for node in nodes:
+            yield from self._visit(ctx, node, guarded)
+
+    def _visit(self, ctx: FileContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A guard outside the def does not guard calls made later.
+            body_guarded = False
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, body_guarded)
+                if not body_guarded and _is_guard_return(stmt):
+                    body_guarded = True
+            return
+        if isinstance(node, ast.If):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit_block(ctx, list(node.body), branch_guarded)
+            yield from self._visit_block(ctx, list(node.orelse), branch_guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit(ctx, node.body, branch_guarded)
+            yield from self._visit(ctx, node.orelse, branch_guarded)
+            return
+        if (
+            not guarded
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RECORDING_METHODS
+            and _is_metrics_name(node.func.value)
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"unguarded _METRICS.{node.func.attr}(...) — wrap in "
+                "'if _METRICS.enabled:' so disabled telemetry stays free",
+            )
+            # fall through: nested calls in arguments are reported too
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(node)), guarded)

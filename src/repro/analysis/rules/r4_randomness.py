@@ -1,0 +1,69 @@
+"""R4 — shared randomness flows through schema objects, never raw families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import enclosing_class_names
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: The raw hash/sign family constructors that must stay behind schemas.
+FAMILY_CONSTRUCTORS = frozenset({"PairwiseBucketHash", "FourWiseSignFamily"})
+
+
+@register
+class SharedRandomness(Rule):
+    """Sketches joined later must be built from one ``*Schema`` object.
+
+    The paper (Section 4.3) requires joined sketches to "use identical
+    hash functions h_i"; in this repo the *only* sanctioned way to share
+    that randomness is a schema object (``HashSketchSchema``,
+    ``AGMSSchema``, ``MultiJoinSchema``, ...) handed to every sketch.
+    Constructing ``PairwiseBucketHash`` or ``FourWiseSignFamily``
+    directly at a use site creates randomness that nothing else can
+    share — joining such sketches is a silent correctness bug.
+
+    This rule flags direct calls to the family constructors in non-test
+    code, except inside ``repro.hashing`` itself (where they are defined
+    and composed) and inside the body of a class whose name ends in
+    ``Schema`` (the sanctioned shared-randomness containers).
+
+    Example violation::
+
+        signs = FourWiseSignFamily(depth, rng)        # R4 (ad-hoc family)
+
+    Fix: create a schema and let it own the families::
+
+        schema = HashSketchSchema(width, depth, domain_size, seed=seed)
+        sketch = schema.create_sketch()
+    """
+
+    rule_id = "R4"
+    title = "sketch randomness constructed via schemas only"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.role is Role.TEST or ctx.role is Role.UNKNOWN:
+            return False
+        return ctx.subpackage != "hashing"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        owners = enclosing_class_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Name) or func.id not in FAMILY_CONSTRUCTORS:
+                continue
+            owner = owners.get(node)
+            if owner is not None and owner.endswith("Schema"):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"raw {func.id} constructed outside a *Schema class; "
+                "join-compatible sketches must share randomness via a schema",
+            )

@@ -1,0 +1,73 @@
+"""R6 — every RNG in library code is explicitly seeded."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import NUMPY_ALIASES
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+
+def _is_default_rng(func: ast.expr) -> bool:
+    """Matches ``np.random.default_rng`` / ``numpy.random.default_rng``
+    and a bare ``default_rng`` imported from ``numpy.random``."""
+    if isinstance(func, ast.Name):
+        return func.id == "default_rng"
+    if isinstance(func, ast.Attribute) and func.attr == "default_rng":
+        value = func.value
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in NUMPY_ALIASES
+        )
+    return False
+
+
+@register
+class SeededRng(Rule):
+    """``np.random.default_rng()`` without a seed is banned in ``src/``.
+
+    Sketch accuracy experiments, golden tests, and the distributed
+    protocol all depend on reproducible randomness: schemas derive every
+    hash/sign family from one seed, and generators take explicit seeds.
+    An unseeded ``default_rng()`` draws OS entropy, making runs
+    unrepeatable and join estimates impossible to debug after the fact.
+
+    Flags calls to ``default_rng`` with no arguments (or an explicit
+    ``None`` seed) anywhere under ``src/repro``.
+
+    Example violation::
+
+        rng = np.random.default_rng()            # R6
+
+    Fix: accept a ``seed`` (or ``rng``) parameter and pass it through::
+
+        rng = np.random.default_rng(seed)
+    """
+
+    rule_id = "R6"
+    title = "RNGs constructed with explicit seeds"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role in (Role.KERNEL, Role.LIBRARY)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_default_rng(node.func):
+                continue
+            seeded = bool(node.args) or bool(node.keywords)
+            if node.args and isinstance(node.args[0], ast.Constant):
+                if node.args[0].value is None:
+                    seeded = False
+            if not seeded:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "np.random.default_rng() without an explicit seed makes "
+                    "runs unreproducible; thread a seed argument through",
+                )

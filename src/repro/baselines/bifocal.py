@@ -31,6 +31,7 @@ from collections import Counter
 import numpy as np
 
 from ..streams.model import FrequencyVector
+from ..errors import ParameterError
 
 
 class BifocalEstimator:
@@ -48,9 +49,9 @@ class BifocalEstimator:
 
     def __init__(self, sample_size: int, dense_sample_count: int = 3):
         if sample_size < 1:
-            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+            raise ParameterError(f"sample_size must be >= 1, got {sample_size}")
         if dense_sample_count < 1:
-            raise ValueError(
+            raise ParameterError(
                 f"dense_sample_count must be >= 1, got {dense_sample_count}"
             )
         self.sample_size = sample_size

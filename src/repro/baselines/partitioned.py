@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DomainError, IncompatibleSketchError
+from ..errors import DomainError, IncompatibleSketchError, ParameterError
 from ..sketches.agms import AGMSSchema, AGMSSketch
 from ..sketches.base import StreamSynopsis
 from ..streams.model import FrequencyVector
@@ -72,11 +72,11 @@ def plan_partitions(
         Total averaging copies (``sum of per-partition s1``) to allocate.
     """
     if f_hint.domain_size != g_hint.domain_size:
-        raise ValueError("hint domains differ")
+        raise ParameterError("hint domains differ")
     if num_partitions < 1:
-        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        raise ParameterError(f"num_partitions must be >= 1, got {num_partitions}")
     if averaging_budget < num_partitions:
-        raise ValueError(
+        raise ParameterError(
             f"averaging_budget {averaging_budget} cannot give every one of "
             f"{num_partitions} partitions a copy"
         )
@@ -159,7 +159,7 @@ class PartitionedAGMSSchema:
 
     def __init__(self, plan: PartitionPlan, median: int, seed: int = 0):
         if median < 1:
-            raise ValueError(f"median must be >= 1, got {median}")
+            raise ParameterError(f"median must be >= 1, got {median}")
         self.plan = plan
         self.median = median
         self.seed = seed

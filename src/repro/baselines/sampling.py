@@ -18,7 +18,7 @@ from collections import Counter
 
 import numpy as np
 
-from ..errors import DeletionUnsupportedError
+from ..errors import DeletionUnsupportedError, ParameterError
 from ..sketches.base import StreamSynopsis
 
 
@@ -27,9 +27,9 @@ class ReservoirSample(StreamSynopsis):
 
     def __init__(self, capacity: int, domain_size: int, seed: int = 0):
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
         if domain_size < 1:
-            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+            raise ParameterError(f"domain_size must be >= 1, got {domain_size}")
         self.capacity = capacity
         self._domain_size = domain_size
         self._rng = np.random.default_rng(seed)
@@ -114,7 +114,7 @@ def sample_join_estimate(
     :class:`ReservoirSample`; the estimator and its variance are the same.
     """
     if capacity < 1:
-        raise ValueError(f"capacity must be >= 1, got {capacity}")
+        raise ParameterError(f"capacity must be >= 1, got {capacity}")
     f_counts = np.clip(np.asarray(f_counts, dtype=np.float64), 0.0, None)
     g_counts = np.clip(np.asarray(g_counts, dtype=np.float64), 0.0, None)
     n_f, n_g = f_counts.sum(), g_counts.sum()

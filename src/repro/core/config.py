@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 
 from .skim import DEFAULT_THRESHOLD_MULTIPLIER
+from ..errors import ParameterError
 
 
 def depth_for_confidence(delta: float) -> int:
@@ -33,7 +34,7 @@ def depth_for_confidence(delta: float) -> int:
     to odd so the median is a single table's estimate.
     """
     if not 0 < delta < 1:
-        raise ValueError(f"delta must be in (0, 1), got {delta}")
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
     depth = max(1, math.ceil(4.8 * math.log(1.0 / delta)))
     return depth if depth % 2 == 1 else depth + 1
 
@@ -48,11 +49,11 @@ class SketchParameters:
 
     def __post_init__(self) -> None:
         if self.width < 1:
-            raise ValueError(f"width must be >= 1, got {self.width}")
+            raise ParameterError(f"width must be >= 1, got {self.width}")
         if self.depth < 1:
-            raise ValueError(f"depth must be >= 1, got {self.depth}")
+            raise ParameterError(f"depth must be >= 1, got {self.depth}")
         if self.threshold_multiplier <= 0:
-            raise ValueError(
+            raise ParameterError(
                 f"threshold_multiplier must be positive, got {self.threshold_multiplier}"
             )
 
@@ -75,7 +76,7 @@ class SketchParameters:
         (``s1``), which drives accuracy.
         """
         if total_counters < depth:
-            raise ValueError(
+            raise ParameterError(
                 f"budget of {total_counters} counters cannot fit depth {depth}"
             )
         return cls(total_counters // depth, depth, threshold_multiplier)
@@ -110,11 +111,11 @@ class SketchParameters:
             are harder and need more space, exactly as in the theorem.
         """
         if epsilon <= 0:
-            raise ValueError(f"epsilon must be positive, got {epsilon}")
+            raise ParameterError(f"epsilon must be positive, got {epsilon}")
         if stream_size <= 0:
-            raise ValueError(f"stream_size must be positive, got {stream_size}")
+            raise ParameterError(f"stream_size must be positive, got {stream_size}")
         if join_size_lower_bound <= 0:
-            raise ValueError(
+            raise ParameterError(
                 f"join_size_lower_bound must be positive, got {join_size_lower_bound}"
             )
         width = max(1, math.ceil(stream_size**2 / (epsilon * join_size_lower_bound)))

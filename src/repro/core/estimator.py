@@ -20,9 +20,12 @@ as the paper requires — and this is enforced.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..errors import IncompatibleSketchError
+from ..errors import IncompatibleSketchError, ParameterError
 from ..obs import METRICS as _METRICS
 from ..sketches.base import StreamSynopsis
 from ..sketches.dyadic import DyadicHashSketch, DyadicSketchSchema
@@ -36,6 +39,9 @@ from .skim import (
     skim_dense_dyadic,
 )
 from .skimmed_join import JoinEstimateBreakdown, est_skim_join_size_from_parts
+
+if TYPE_CHECKING:  # type-only: repro.streams imports repro.core at runtime
+    from ..streams.model import FrequencyVector
 
 
 class SkimmedSketchSchema:
@@ -68,9 +74,9 @@ class SkimmedSketchSchema:
         seed: int = 0,
         dyadic: bool = False,
         threshold_multiplier: float = DEFAULT_THRESHOLD_MULTIPLIER,
-    ):
+    ) -> None:
         if threshold_multiplier <= 0:
-            raise ValueError(
+            raise ParameterError(
                 f"threshold_multiplier must be positive, got {threshold_multiplier}"
             )
         self.width = width
@@ -108,7 +114,7 @@ class SkimmedSketchSchema:
         """A fresh empty sketch bound to this schema."""
         return SkimmedSketch(self)
 
-    def sketch_of(self, frequencies) -> "SkimmedSketch":
+    def sketch_of(self, frequencies: "FrequencyVector") -> "SkimmedSketch":
         """Convenience: a sketch pre-loaded with a whole frequency vector."""
         sketch = self.create_sketch()
         sketch.ingest_frequency_vector(frequencies)
@@ -139,7 +145,7 @@ class SkimmedSketch(StreamSynopsis):
     can keep absorbing updates and answer many queries).
     """
 
-    def __init__(self, schema: SkimmedSketchSchema):
+    def __init__(self, schema: SkimmedSketchSchema) -> None:
         self._schema = schema
         self._inner: HashSketch | DyadicHashSketch = (
             schema._inner_schema.create_sketch()
@@ -201,7 +207,9 @@ class SkimmedSketch(StreamSynopsis):
         own ``c * N / sqrt(width)``.
         """
         self._check_compatible(other)
-        with _METRICS.timer("estimate.skim_join.seconds"):
+        with _METRICS.timer(
+            "estimate.skim_join.seconds"
+        ) if _METRICS.enabled else nullcontext():
             f_skim, f_res = self.skim(threshold)
             g_skim, g_res = other.skim(threshold)
             return est_skim_join_size_from_parts(f_skim, f_res, g_skim, g_res)

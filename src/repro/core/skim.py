@@ -25,10 +25,12 @@ shape Theorems 3-5 require (``N`` is the tracked stream size).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ParameterError
 from ..obs import METRICS as _METRICS
 from ..sketches.dyadic import DyadicHashSketch
 from ..sketches.hash_sketch import HashSketch
@@ -48,7 +50,7 @@ def default_threshold(
     for an empty sketch (nothing can be dense).
     """
     if multiplier <= 0:
-        raise ValueError(f"multiplier must be positive, got {multiplier}")
+        raise ParameterError(f"multiplier must be positive, got {multiplier}")
     n = sketch.absolute_mass
     if n <= 0:
         return float("inf")
@@ -77,7 +79,7 @@ class SkimResult:
 
     def __post_init__(self) -> None:
         if self.dense_values.shape != self.dense_frequencies.shape:
-            raise ValueError("dense_values and dense_frequencies must align")
+            raise ParameterError("dense_values and dense_frequencies must align")
 
     @property
     def dense_count(self) -> int:
@@ -107,7 +109,9 @@ class _Empty:
     """Sentinel namespace for an empty skim (no dense values)."""
 
     values: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
-    frequencies: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    frequencies: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
 
 
 def skim_dense(
@@ -137,13 +141,13 @@ def skim_dense(
     if threshold is None:
         threshold = default_threshold(sketch)
     if threshold <= 0:
-        raise ValueError(f"threshold must be positive, got {threshold}")
+        raise ParameterError(f"threshold must be positive, got {threshold}")
 
     target = sketch if in_place else sketch.copy()
     if not np.isfinite(threshold):
         return SkimResult(_Empty().values, _Empty().frequencies, threshold), target
 
-    with _METRICS.timer("skim.seconds"):
+    with _METRICS.timer("skim.seconds") if _METRICS.enabled else nullcontext():
         estimates = target.all_point_estimates()
         dense_mask = estimates >= threshold
         dense_values = np.flatnonzero(dense_mask).astype(np.int64)
@@ -170,13 +174,13 @@ def skim_dense_dyadic(
     if threshold is None:
         threshold = default_threshold(sketch.base_sketch)
     if threshold <= 0:
-        raise ValueError(f"threshold must be positive, got {threshold}")
+        raise ParameterError(f"threshold must be positive, got {threshold}")
 
     target = sketch if in_place else sketch.copy()
     if not np.isfinite(threshold):
         return SkimResult(_Empty().values, _Empty().frequencies, threshold), target
 
-    with _METRICS.timer("skim.seconds"):
+    with _METRICS.timer("skim.seconds") if _METRICS.enabled else nullcontext():
         dense_values = target.heavy_values(threshold)
         if dense_values.size == 0:
             if _METRICS.enabled:
@@ -202,7 +206,9 @@ def skim_dense_dyadic(
 
 
 def _record_skim_metrics(kind: str, threshold: float, dense_count: int) -> None:
-    """Shared skim-pass telemetry (caller checks ``_METRICS.enabled``)."""
+    """Shared skim-pass telemetry (self-guarded; callers may pre-check)."""
+    if not _METRICS.enabled:
+        return
     _METRICS.count("skim.passes")
     _METRICS.count(f"skim.passes.{kind}")
     _METRICS.count("skim.dense_extracted", dense_count)

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from contextlib import nullcontext
+
 import numpy as np
 
-from ..errors import IncompatibleSketchError
+from ..errors import IncompatibleSketchError, ParameterError
 from ..obs import METRICS as _METRICS
 from ..sketches.dyadic import DyadicHashSketch
 from ..sketches.hash_sketch import HashSketch
@@ -60,7 +62,7 @@ def est_sub_join_size(
     dense_values = np.asarray(dense_values, dtype=np.int64)
     dense_frequencies = np.asarray(dense_frequencies, dtype=np.float64)
     if dense_values.shape != dense_frequencies.shape:
-        raise ValueError("dense_values and dense_frequencies must align")
+        raise ParameterError("dense_values and dense_frequencies must align")
     if dense_values.size == 0:
         return 0.0
     schema = sketch.schema
@@ -158,17 +160,25 @@ def est_skim_join_size_from_parts(
         + np.sqrt(sj_g_dense * sj_f_res)
         + np.sqrt(sj_f_res * sj_g_res)
     )
-    with _METRICS.timer("estimate.term.dense_dense.seconds"):
+    with _METRICS.timer(
+        "estimate.term.dense_dense.seconds"
+    ) if _METRICS.enabled else nullcontext():
         dense_dense = _dense_dense_join(f_skim, g_skim)
-    with _METRICS.timer("estimate.term.dense_sparse.seconds"):
+    with _METRICS.timer(
+        "estimate.term.dense_sparse.seconds"
+    ) if _METRICS.enabled else nullcontext():
         dense_sparse = est_sub_join_size(
             f_skim.dense_values, f_skim.dense_frequencies, g_skimmed
         )
-    with _METRICS.timer("estimate.term.sparse_dense.seconds"):
+    with _METRICS.timer(
+        "estimate.term.sparse_dense.seconds"
+    ) if _METRICS.enabled else nullcontext():
         sparse_dense = est_sub_join_size(
             g_skim.dense_values, g_skim.dense_frequencies, f_skimmed
         )
-    with _METRICS.timer("estimate.term.sparse_sparse.seconds"):
+    with _METRICS.timer(
+        "estimate.term.sparse_sparse.seconds"
+    ) if _METRICS.enabled else nullcontext():
         sparse_sparse = f_skimmed.est_join_size(g_skimmed)
     if _METRICS.enabled:
         _METRICS.count("estimate.joins")

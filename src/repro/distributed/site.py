@@ -17,7 +17,7 @@ messages when a reporting round closes.  Two reporting modes:
 from __future__ import annotations
 
 from ..core.estimator import SkimmedSketchSchema
-from ..errors import QueryError
+from ..errors import ParameterError, QueryError
 from ..obs import METRICS as _METRICS
 from .protocol import SketchReport
 
@@ -50,11 +50,11 @@ class SketchSite:
         mode: str = "cumulative",
     ):
         if mode not in REPORT_MODES:
-            raise ValueError(f"mode must be one of {REPORT_MODES}, got {mode!r}")
+            raise ParameterError(f"mode must be one of {REPORT_MODES}, got {mode!r}")
         if not streams:
-            raise ValueError("a site must observe at least one stream")
+            raise ParameterError("a site must observe at least one stream")
         if len(set(streams)) != len(streams):
-            raise ValueError(f"duplicate stream names in {streams}")
+            raise ParameterError(f"duplicate stream names in {streams}")
         self.name = name
         self.schema = schema
         self.mode = mode

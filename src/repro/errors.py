@@ -1,9 +1,12 @@
 """Exception hierarchy for the skimmed-sketch library.
 
 All library-raised errors derive from :class:`ReproError`, so callers can
-catch one type at an API boundary.  Programming mistakes (wrong types,
-out-of-range parameters) still raise the standard ``TypeError`` /
-``ValueError`` where that is the idiomatic choice.
+catch one type at an API boundary.  Parameter-validation failures raise
+:class:`ParameterError`, which also subclasses ``ValueError`` so code (and
+tests) written against the standard idiom keep working; wrong *types* still
+raise the standard ``TypeError``.  The ``repro.analysis`` linter (rule R5)
+enforces that library code never raises a bare ``ValueError`` and never
+relies on ``assert`` for validation (asserts vanish under ``python -O``).
 """
 
 from __future__ import annotations
@@ -11,6 +14,16 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for every error raised by the library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument or constructor parameter is out of range or malformed.
+
+    Subclasses both :class:`ReproError` (so one ``except ReproError`` guards
+    a whole API boundary) and :class:`ValueError` (so callers using the
+    standard-library idiom — and the pre-existing test suite — continue to
+    catch it).
+    """
 
 
 class IncompatibleSketchError(ReproError):

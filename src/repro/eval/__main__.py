@@ -185,10 +185,13 @@ def main(argv: list[str] | None = None) -> int:
         METRICS.enable()
     try:
         for name in args.experiments:
-            timer = METRICS.timer("eval.experiment.seconds")
+            # Timer powers the printed wall-clock line even with telemetry
+            # off (it only *records* when enabled).
+            timer = METRICS.timer("eval.experiment.seconds")  # repro: noqa[R3]
             print(f"== {name} ==")
             with timer:
-                METRICS.count("eval.experiments")
+                if METRICS.enabled:
+                    METRICS.count("eval.experiments")
                 print(EXPERIMENTS[name](scale, args.trials))
             print(f"[{name} took {timer.elapsed:.1f}s]\n")
         if args.metrics_out:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..core.estimator import SkimmedSketch
 from ..core.skim import default_threshold, skim_dense
 from ..obs import METRICS, MetricsRegistry
+from ..errors import ParameterError
 
 
 @dataclass(frozen=True)
@@ -131,7 +132,7 @@ def sketch_health(
     recommended = None
     if target_error is not None and target_join_size is not None:
         if target_error <= 0 or target_join_size <= 0:
-            raise ValueError("target_error and target_join_size must be positive")
+            raise ParameterError("target_error and target_join_size must be positive")
         recommended = max(1, math.ceil(n * n / (target_error * target_join_size)))
 
     return SketchHealthReport(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from ..errors import ParameterError
 
 #: The paper's error cap for non-positive / degenerate estimates.
 DEFAULT_SANITY_BOUND = 10.0
@@ -36,7 +37,7 @@ def join_error(
     would exceed the cap — return ``sanity_bound``.
     """
     if actual <= 0:
-        raise ValueError(f"actual join size must be positive, got {actual}")
+        raise ParameterError(f"actual join size must be positive, got {actual}")
     if estimate <= 0:
         return sanity_bound
     error = abs(estimate - actual) / min(estimate, actual)
@@ -46,7 +47,7 @@ def join_error(
 def relative_error(estimate: float, actual: float) -> float:
     """Classic relative error ``|est - actual| / actual`` (for reference)."""
     if actual <= 0:
-        raise ValueError(f"actual join size must be positive, got {actual}")
+        raise ParameterError(f"actual join size must be positive, got {actual}")
     return abs(estimate - actual) / actual
 
 
@@ -66,7 +67,7 @@ class ErrorSummary:
         """Summarise a non-empty sequence of error values."""
         arr = np.asarray(list(errors), dtype=np.float64)
         if arr.size == 0:
-            raise ValueError("cannot summarise an empty error sequence")
+            raise ParameterError("cannot summarise an empty error sequence")
         return cls(
             count=int(arr.size),
             mean=float(arr.mean()),

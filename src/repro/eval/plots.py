@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from typing import Mapping, Sequence
+from ..errors import ParameterError
 
 #: Glyphs assigned to series, in declaration order.
 _MARKERS = "xo*+#@%&"
@@ -58,7 +59,7 @@ def render_ascii_plot(
     if not series or all(not points for points in series.values()):
         return f"{title}\n(no data)"
     if width < 8 or height < 4:
-        raise ValueError("plot area must be at least 8x4 characters")
+        raise ParameterError("plot area must be at least 8x4 characters")
 
     all_x = [x for points in series.values() for x, _ in points]
     all_y = [max(y, 1e-12) for points in series.values() for _, y in points]

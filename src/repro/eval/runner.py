@@ -33,6 +33,7 @@ from ..sketches.agms import AGMSSchema
 from ..sketches.hash_sketch import HashSketchSchema
 from ..streams.model import FrequencyVector
 from .metrics import ErrorSummary, join_error
+from ..errors import ParameterError
 
 #: A workload draws one trial's pair of stream frequency vectors.
 WorkloadFn = Callable[[int], tuple[FrequencyVector, FrequencyVector]]
@@ -73,7 +74,7 @@ class SweepConfig:
         for budget in sorted(self.space_budgets):
             if space <= budget:
                 return budget
-        raise ValueError(f"shape {width}x{depth} exceeds every budget")
+        raise ParameterError(f"shape {width}x{depth} exceeds every budget")
 
 
 @dataclass(frozen=True)
@@ -204,7 +205,7 @@ class SchemaCache:
         max_entries: int | None = None,
     ):
         if max_entries is not None and max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+            raise ParameterError(f"max_entries must be >= 1, got {max_entries}")
         self.domain_size = domain_size
         self.enable_agms_projection = enable_agms_projection
         self.max_entries = max_entries
@@ -279,7 +280,7 @@ def make_estimators(
     known = {"basic_agms": basic_agms, "skimmed": skimmed, "fast_agms": fast_agms}
     for name in methods:
         if name not in known:
-            raise ValueError(f"unknown method {name!r}; known: {sorted(known)}")
+            raise ParameterError(f"unknown method {name!r}; known: {sorted(known)}")
         adapters[name] = known[name]
     return adapters
 

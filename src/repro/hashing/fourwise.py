@@ -28,7 +28,7 @@ class FourWiseSignFamily:
     (hash sketches) or the ``i``-th atomic sketch (basic AGMS).
     """
 
-    def __init__(self, count: int, rng: np.random.Generator):
+    def __init__(self, count: int, rng: np.random.Generator) -> None:
         self._family = KWiseHashFamily(count, independence=4, rng=rng)
 
     @property

@@ -23,6 +23,7 @@ from .prime_field import (
     poly_eval_many,
     random_coefficients,
 )
+from ..errors import ParameterError
 
 
 class KWiseHashFamily:
@@ -43,11 +44,11 @@ class KWiseHashFamily:
         from identically-seeded generators are identical.
     """
 
-    def __init__(self, count: int, independence: int, rng: np.random.Generator):
+    def __init__(self, count: int, independence: int, rng: np.random.Generator) -> None:
         if count < 1:
-            raise ValueError(f"count must be >= 1, got {count}")
+            raise ParameterError(f"count must be >= 1, got {count}")
         if independence < 1:
-            raise ValueError(f"independence must be >= 1, got {independence}")
+            raise ParameterError(f"independence must be >= 1, got {independence}")
         self.count = count
         self.independence = independence
         self._coefficients = random_coefficients(rng, count, independence - 1)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .kwise import KWiseHashFamily
+from ..errors import ParameterError
 
 
 class PairwiseBucketHash:
@@ -22,9 +23,9 @@ class PairwiseBucketHash:
     hash of table ``i``.  Evaluation is vectorised over input values.
     """
 
-    def __init__(self, count: int, width: int, rng: np.random.Generator):
+    def __init__(self, count: int, width: int, rng: np.random.Generator) -> None:
         if width < 1:
-            raise ValueError(f"width must be >= 1, got {width}")
+            raise ParameterError(f"width must be >= 1, got {width}")
         self.width = width
         self._family = KWiseHashFamily(count, independence=2, rng=rng)
 

@@ -17,6 +17,7 @@ on the per-element update path of every sketch in the library.
 from __future__ import annotations
 
 import numpy as np
+from ..errors import ParameterError
 
 #: The Mersenne prime 2**31 - 1 used by every hash family in the library.
 MERSENNE_PRIME_31: int = (1 << 31) - 1
@@ -31,11 +32,13 @@ def as_field_elements(values: np.ndarray | list[int] | int) -> np.ndarray:
     inputs are rejected: domain values in the stream model are always
     non-negative integers.
     """
-    arr = np.asarray(values)
+    # Deliberately dtype-free: this is the kernels' integer-dispatch gate
+    # (any int dtype in, validated, then reduced to uint64 below).
+    arr = np.asarray(values)  # repro: noqa[R1]
     if arr.dtype.kind not in ("i", "u"):
         raise TypeError(f"field elements must be integers, got dtype {arr.dtype}")
     if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:
-        raise ValueError("field elements must be non-negative")
+        raise ParameterError("field elements must be non-negative")
     return arr.astype(np.uint64, copy=False) % _P
 
 
@@ -71,7 +74,7 @@ def poly_eval(coefficients: np.ndarray, points: np.ndarray) -> np.ndarray:
     ``[0, p)``.
     """
     if coefficients.ndim != 1 or coefficients.size == 0:
-        raise ValueError("coefficients must be a non-empty 1-D array")
+        raise ParameterError("coefficients must be a non-empty 1-D array")
     acc = np.full_like(points, coefficients[0])
     for c in coefficients[1:]:
         acc = (acc * points + c) % _P
@@ -100,7 +103,7 @@ def poly_eval_many(coefficients: np.ndarray, points: np.ndarray) -> np.ndarray:
     with no Python-level loop over either polynomials or points.
     """
     if coefficients.ndim != 2 or coefficients.shape[1] == 0:
-        raise ValueError("coefficients must have shape (num_polys, k), k >= 1")
+        raise ParameterError("coefficients must have shape (num_polys, k), k >= 1")
     pts = points[np.newaxis, :]
     acc = np.broadcast_to(coefficients[:, :1], (coefficients.shape[0], points.size)).copy()
     for j in range(1, coefficients.shape[1]):
@@ -120,7 +123,7 @@ def random_coefficients(
     highest degree first.
     """
     if degree < 0:
-        raise ValueError("degree must be non-negative")
+        raise ParameterError("degree must be non-negative")
     coeffs = rng.integers(0, MERSENNE_PRIME_31, size=(num_polys, degree + 1), dtype=np.uint64)
     if degree > 0:
         coeffs[:, 0] = rng.integers(1, MERSENNE_PRIME_31, size=num_polys, dtype=np.uint64)

@@ -24,11 +24,16 @@ Two sketches can only be combined if they were created by the same
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..errors import IncompatibleSketchError
+from ..errors import IncompatibleSketchError, ParameterError
 from ..hashing import FourWiseSignFamily
 from .base import StreamSynopsis
+
+if TYPE_CHECKING:  # type-only: repro.streams imports repro.sketches at runtime
+    from ..streams.model import FrequencyVector
 
 #: Cap on the size of the (families x values) sign matrix materialised per
 #: bulk-ingestion chunk, in elements.  Keeps peak memory around ~128 MB.
@@ -53,13 +58,13 @@ class AGMSSchema:
         seed produce interchangeable sketches.
     """
 
-    def __init__(self, averaging: int, median: int, domain_size: int, seed: int = 0):
+    def __init__(self, averaging: int, median: int, domain_size: int, seed: int = 0) -> None:
         if averaging < 1:
-            raise ValueError(f"averaging must be >= 1, got {averaging}")
+            raise ParameterError(f"averaging must be >= 1, got {averaging}")
         if median < 1:
-            raise ValueError(f"median must be >= 1, got {median}")
+            raise ParameterError(f"median must be >= 1, got {median}")
         if domain_size < 1:
-            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+            raise ParameterError(f"domain_size must be >= 1, got {domain_size}")
         self.averaging = averaging
         self.median = median
         self.domain_size = domain_size
@@ -72,7 +77,7 @@ class AGMSSchema:
         """A fresh empty sketch bound to this schema's sign families."""
         return AGMSSketch(self)
 
-    def sketch_of(self, frequencies) -> "AGMSSketch":
+    def sketch_of(self, frequencies: "FrequencyVector") -> "AGMSSketch":
         """Convenience: a sketch pre-loaded with a whole frequency vector."""
         sketch = self.create_sketch()
         sketch.ingest_frequency_vector(frequencies)
@@ -92,7 +97,7 @@ class AGMSSchema:
         """
         needed = self.signs.count * self.domain_size
         if needed > max_bytes:
-            raise ValueError(
+            raise ParameterError(
                 f"projection cache would need {needed} bytes "
                 f"(> max_bytes={max_bytes})"
             )
@@ -129,10 +134,10 @@ class AGMSSchema:
 class AGMSSketch(StreamSynopsis):
     """One stream's basic AGMS synopsis (``median x averaging`` atomic sketches)."""
 
-    def __init__(self, schema: AGMSSchema):
+    def __init__(self, schema: AGMSSchema) -> None:
         self._schema = schema
         # Row j is median group j; column i its i-th averaged atomic sketch.
-        self._atomic = np.zeros((schema.median, schema.averaging))
+        self._atomic = np.zeros((schema.median, schema.averaging), dtype=np.float64)
         self._absolute_mass = 0.0
 
     # -- synopsis contract ---------------------------------------------------
@@ -177,7 +182,7 @@ class AGMSSketch(StreamSynopsis):
         else:
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != values.shape:
-                raise ValueError("weights must have the same shape as values")
+                raise ParameterError("weights must have the same shape as values")
         flat = self._atomic.reshape(-1)
         chunk = max(1, _BULK_CHUNK_ELEMENTS // self._schema.signs.count)
         for start in range(0, values.size, chunk):
@@ -186,7 +191,7 @@ class AGMSSketch(StreamSynopsis):
             flat += signs @ weights[start:stop]
         self._absolute_mass += float(np.abs(weights).sum())
 
-    def ingest_frequency_vector(self, frequencies) -> None:
+    def ingest_frequency_vector(self, frequencies: "FrequencyVector") -> None:
         """Absorb a whole frequency vector.
 
         Uses the schema's projection cache (one matrix-vector product) when
@@ -199,7 +204,7 @@ class AGMSSketch(StreamSynopsis):
             super().ingest_frequency_vector(frequencies)
             return
         if frequencies.domain_size != self.domain_size:
-            raise ValueError(
+            raise ParameterError(
                 f"domain mismatch: synopsis {self.domain_size}, "
                 f"vector {frequencies.domain_size}"
             )

@@ -14,6 +14,7 @@ import abc
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+from ..errors import ParameterError
 
 if TYPE_CHECKING:  # type-only: repro.streams imports repro.sketches at runtime
     from ..streams.model import FrequencyVector, Update
@@ -60,7 +61,7 @@ class StreamSynopsis(abc.ABC):
     def ingest_frequency_vector(self, frequencies: "FrequencyVector") -> None:
         """Absorb a whole frequency vector (bulk path over the support)."""
         if frequencies.domain_size != self.domain_size:
-            raise ValueError(
+            raise ParameterError(
                 f"domain mismatch: synopsis {self.domain_size}, "
                 f"vector {frequencies.domain_size}"
             )

@@ -22,6 +22,7 @@ import numpy as np
 
 from .base import StreamSynopsis
 from .hash_sketch import HashSketch, HashSketchSchema
+from ..errors import ParameterError
 
 if TYPE_CHECKING:  # type-only: repro.streams imports repro.sketches at runtime
     from ..streams.model import FrequencyVector
@@ -38,9 +39,9 @@ class TopKSketch(StreamSynopsis):
         Number of heavy hitters to track.
     """
 
-    def __init__(self, schema: HashSketchSchema, k: int):
+    def __init__(self, schema: HashSketchSchema, k: int) -> None:
         if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+            raise ParameterError(f"k must be >= 1, got {k}")
         self.k = k
         self._sketch = HashSketch(schema)
         self._estimates: dict[int, float] = {}
@@ -74,7 +75,9 @@ class TopKSketch(StreamSynopsis):
         if values.size == 0:
             return
         self._sketch.update_bulk(values, weights)
-        for value in np.unique(values):
+        # Top-k candidacy is per-distinct-value dict bookkeeping; the
+        # numpy work happened in update_bulk above.
+        for value in np.unique(values):  # repro: noqa[R2]
             self._consider(int(value))
 
     def size_in_counters(self) -> int:

@@ -21,12 +21,17 @@ The hierarchy stops at a coarsest level with at most
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..errors import IncompatibleSketchError
+from ..errors import IncompatibleSketchError, ParameterError
 from ..obs import METRICS as _METRICS
 from .base import StreamSynopsis
 from .hash_sketch import HashSketch, HashSketchSchema
+
+if TYPE_CHECKING:  # type-only: repro.streams imports repro.sketches at runtime
+    from ..streams.model import FrequencyVector
 
 
 def _is_power_of_two(n: int) -> bool:
@@ -57,14 +62,14 @@ class DyadicSketchSchema:
         domain_size: int,
         seed: int = 0,
         coarse_cutoff: int = 1024,
-    ):
+    ) -> None:
         if not _is_power_of_two(domain_size):
-            raise ValueError(
+            raise ParameterError(
                 f"domain_size must be a power of two, got {domain_size}; "
                 "pad the declared domain upward"
             )
         if coarse_cutoff < 2:
-            raise ValueError(f"coarse_cutoff must be >= 2, got {coarse_cutoff}")
+            raise ParameterError(f"coarse_cutoff must be >= 2, got {coarse_cutoff}")
         self.width = width
         self.depth = depth
         self.domain_size = domain_size
@@ -98,7 +103,7 @@ class DyadicSketchSchema:
         """A fresh empty hierarchy bound to this schema."""
         return DyadicHashSketch(self)
 
-    def sketch_of(self, frequencies) -> "DyadicHashSketch":
+    def sketch_of(self, frequencies: "FrequencyVector") -> "DyadicHashSketch":
         """Convenience: a hierarchy pre-loaded with a whole frequency vector."""
         sketch = self.create_sketch()
         sketch.ingest_frequency_vector(frequencies)
@@ -127,7 +132,7 @@ class DyadicSketchSchema:
 class DyadicHashSketch(StreamSynopsis):
     """A stack of hash sketches over the dyadic aggregation levels of one stream."""
 
-    def __init__(self, schema: DyadicSketchSchema):
+    def __init__(self, schema: DyadicSketchSchema) -> None:
         self._schema = schema
         self._levels = [s.create_sketch() for s in schema.level_schemas]
 
@@ -187,7 +192,7 @@ class DyadicHashSketch(StreamSynopsis):
         what to do with their estimates.
         """
         if threshold <= 0:
-            raise ValueError(f"threshold must be positive, got {threshold}")
+            raise ParameterError(f"threshold must be positive, got {threshold}")
         top = self._schema.num_levels - 1
         candidates = np.arange(self._schema.level_domains[top], dtype=np.int64)
         for level in range(top, -1, -1):
@@ -212,7 +217,7 @@ class DyadicHashSketch(StreamSynopsis):
         the range length instead of linear.
         """
         if not 0 <= low < high <= self.domain_size:
-            raise ValueError(
+            raise ParameterError(
                 f"range [{low}, {high}) not within [0, {self.domain_size})"
             )
         total = 0.0

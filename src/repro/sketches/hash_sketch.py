@@ -30,12 +30,17 @@ Estimators provided here:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..errors import DomainError, IncompatibleSketchError
+from ..errors import DomainError, IncompatibleSketchError, ParameterError
 from ..hashing import FourWiseSignFamily, PairwiseBucketHash
 from ..obs import METRICS as _METRICS
 from .base import StreamSynopsis
+
+if TYPE_CHECKING:  # type-only: repro.streams imports repro.sketches at runtime
+    from ..streams.model import FrequencyVector
 
 
 class HashSketchSchema:
@@ -58,13 +63,13 @@ class HashSketchSchema:
         Seed determining all hash and sign families.
     """
 
-    def __init__(self, width: int, depth: int, domain_size: int, seed: int = 0):
+    def __init__(self, width: int, depth: int, domain_size: int, seed: int = 0) -> None:
         if width < 1:
-            raise ValueError(f"width must be >= 1, got {width}")
+            raise ParameterError(f"width must be >= 1, got {width}")
         if depth < 1:
-            raise ValueError(f"depth must be >= 1, got {depth}")
+            raise ParameterError(f"depth must be >= 1, got {depth}")
         if domain_size < 1:
-            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+            raise ParameterError(f"domain_size must be >= 1, got {domain_size}")
         self.width = width
         self.depth = depth
         self.domain_size = domain_size
@@ -77,7 +82,7 @@ class HashSketchSchema:
         """A fresh empty sketch bound to this schema."""
         return HashSketch(self)
 
-    def sketch_of(self, frequencies) -> "HashSketch":
+    def sketch_of(self, frequencies: "FrequencyVector") -> "HashSketch":
         """Convenience: a sketch pre-loaded with a whole frequency vector."""
         sketch = self.create_sketch()
         sketch.ingest_frequency_vector(frequencies)
@@ -103,11 +108,11 @@ class HashSketchSchema:
 class HashSketch(StreamSynopsis):
     """One stream's hash-sketch synopsis (``depth`` tables x ``width`` buckets)."""
 
-    def __init__(self, schema: HashSketchSchema):
+    def __init__(self, schema: HashSketchSchema) -> None:
         self._schema = schema
-        self._counters = np.zeros((schema.depth, schema.width))
+        self._counters = np.zeros((schema.depth, schema.width), dtype=np.float64)
         self._absolute_mass = 0.0
-        self._table_index = np.arange(schema.depth)
+        self._table_index = np.arange(schema.depth, dtype=np.int64)
 
     # -- synopsis contract ---------------------------------------------------
 
@@ -166,11 +171,11 @@ class HashSketch(StreamSynopsis):
         self._check_value(int(values.min()))
         self._check_value(int(values.max()))
         if weights is None:
-            weights = np.ones(values.size)
+            weights = np.ones(values.size, dtype=np.float64)
         else:
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != values.shape:
-                raise ValueError("weights must have the same shape as values")
+                raise ParameterError("weights must have the same shape as values")
         self._apply_point_masses(values, weights)
         self._absolute_mass += float(np.abs(weights).sum())
         if _METRICS.enabled:
@@ -197,7 +202,7 @@ class HashSketch(StreamSynopsis):
         """
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         buckets = self._schema.buckets.buckets(values)
         signs = self._schema.signs.signs(values)
         per_table = self._counters[self._table_index[:, None], buckets] * signs
@@ -206,7 +211,7 @@ class HashSketch(StreamSynopsis):
     def point_estimate(self, value: int) -> float:
         """Frequency estimate for a single domain value."""
         self._check_value(value)
-        return float(self.point_estimates(np.asarray([value]))[0])
+        return float(self.point_estimates(np.asarray([value], dtype=np.int64))[0])
 
     def all_point_estimates(self) -> np.ndarray:
         """Frequency estimates for every value of the domain.
@@ -271,7 +276,7 @@ class HashSketch(StreamSynopsis):
         values = np.asarray(values, dtype=np.int64)
         frequencies = np.asarray(frequencies, dtype=np.float64)
         if frequencies.shape != values.shape:
-            raise ValueError("frequencies must have the same shape as values")
+            raise ParameterError("frequencies must have the same shape as values")
         if values.size == 0:
             return
         self._check_value(int(values.min()))

@@ -16,7 +16,7 @@ families identical), counters are restored verbatim.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import BinaryIO
+from typing import Any, BinaryIO, Union
 
 import numpy as np
 
@@ -34,12 +34,15 @@ _KIND_AGMS = "agms"
 _KIND_DYADIC = "dyadic"
 _KIND_SKIMMED = "skimmed"
 
+#: Every sketch kind the persistence layer round-trips.
+AnySketch = Union[HashSketch, AGMSSketch, DyadicHashSketch, SkimmedSketch]
+
 
 class SerializationError(ReproError):
     """The archive is missing, malformed, or of an unknown kind/version."""
 
 
-def _schema_fields(sketch) -> dict:
+def _schema_fields(sketch: AnySketch) -> dict[str, Any]:
     """Common schema parameters shared by all sketch kinds."""
     schema = sketch.schema
     return {
@@ -51,7 +54,7 @@ def _schema_fields(sketch) -> dict:
     }
 
 
-def sketch_state(sketch) -> dict:
+def sketch_state(sketch: AnySketch) -> dict[str, Any]:
     """The complete state of a sketch as a flat, array-valued dict."""
     if isinstance(sketch, HashSketch):
         return {
@@ -94,7 +97,7 @@ def sketch_state(sketch) -> dict:
     raise SerializationError(f"cannot serialise {type(sketch).__name__}")
 
 
-def _restore_hash(state: dict) -> HashSketch:
+def _restore_hash(state: dict[str, Any]) -> HashSketch:
     schema = HashSketchSchema(
         int(state["width"]),
         int(state["depth"]),
@@ -113,7 +116,7 @@ def _restore_hash(state: dict) -> HashSketch:
     return sketch
 
 
-def _restore_agms(state: dict) -> AGMSSketch:
+def _restore_agms(state: dict[str, Any]) -> AGMSSketch:
     schema = AGMSSchema(
         int(state["averaging"]),
         int(state["median"]),
@@ -132,7 +135,7 @@ def _restore_agms(state: dict) -> AGMSSketch:
     return sketch
 
 
-def _restore_dyadic(state: dict) -> DyadicHashSketch:
+def _restore_dyadic(state: dict[str, Any]) -> DyadicHashSketch:
     schema = DyadicSketchSchema(
         int(state["width"]),
         int(state["depth"]),
@@ -155,7 +158,7 @@ def _restore_dyadic(state: dict) -> DyadicHashSketch:
     return sketch
 
 
-def _restore_skimmed(state: dict) -> SkimmedSketch:
+def _restore_skimmed(state: dict[str, Any]) -> SkimmedSketch:
     schema = SkimmedSketchSchema(
         int(state["width"]),
         int(state["depth"]),
@@ -171,7 +174,7 @@ def _restore_skimmed(state: dict) -> SkimmedSketch:
     return sketch
 
 
-def sketch_from_state(state: dict):
+def sketch_from_state(state: dict[str, Any]) -> AnySketch:
     """Rebuild a sketch (schema included) from :func:`sketch_state` output."""
     version = int(state.get("version", -1))
     if version != FORMAT_VERSION:
@@ -188,13 +191,13 @@ def sketch_from_state(state: dict):
     return restorers[kind](state)
 
 
-def save_sketch(sketch, destination: str | Path | BinaryIO) -> None:
+def save_sketch(sketch: AnySketch, destination: str | Path | BinaryIO) -> None:
     """Persist a sketch (with schema parameters) to an ``.npz`` archive."""
     state = sketch_state(sketch)
     np.savez_compressed(destination, **state)
 
 
-def load_sketch(source: str | Path | BinaryIO):
+def load_sketch(source: str | Path | BinaryIO) -> AnySketch:
     """Load a sketch previously written by :func:`save_sketch`.
 
     The restored sketch is join-compatible with any live sketch built from

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DeletionUnsupportedError, DomainError
+from ..errors import DeletionUnsupportedError, DomainError, ParameterError
 from .base import StreamSynopsis
 
 
@@ -47,11 +47,11 @@ class TrackedCount:
 class SpaceSaving(StreamSynopsis):
     """Deterministic top-frequency summary with ``capacity`` counters."""
 
-    def __init__(self, capacity: int, domain_size: int):
+    def __init__(self, capacity: int, domain_size: int) -> None:
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
         if domain_size < 1:
-            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+            raise ParameterError(f"domain_size must be >= 1, got {domain_size}")
         self.capacity = capacity
         self._domain_size = domain_size
         self._counts: dict[int, float] = {}
@@ -96,13 +96,16 @@ class SpaceSaving(StreamSynopsis):
     def update_bulk(self, values: np.ndarray, weights: np.ndarray | None = None) -> None:
         values = np.asarray(values, dtype=np.int64)
         if weights is None:
-            for value in values:
+            # Space-Saving is inherently sequential (each eviction depends
+            # on all prior state); per-element is the algorithm, not a
+            # regression.  See docs/STATIC_ANALYSIS.md (R2).
+            for value in values:  # repro: noqa[R2]
                 self.update(int(value))
             return
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != values.shape:
-            raise ValueError("weights must have the same shape as values")
-        for value, weight in zip(values, weights):
+            raise ParameterError("weights must have the same shape as values")
+        for value, weight in zip(values, weights):  # repro: noqa[R2]
             self.update(int(value), float(weight))
 
     def size_in_counters(self) -> int:
@@ -130,7 +133,7 @@ class SpaceSaving(StreamSynopsis):
         ``>= max(threshold, N / capacity)`` is guaranteed to appear.
         """
         if threshold <= 0:
-            raise ValueError(f"threshold must be positive, got {threshold}")
+            raise ParameterError(f"threshold must be positive, got {threshold}")
         return [t for t in self.tracked() if t.count >= threshold]
 
     def dense_candidates(self, threshold: float) -> np.ndarray:

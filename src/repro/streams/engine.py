@@ -17,11 +17,12 @@ comparisons through one interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from ..errors import QueryError
+from ..errors import ParameterError, QueryError
 from ..obs import METRICS as _METRICS
 from ..sketches.agms import AGMSSchema, AGMSSketch
 from ..sketches.hash_sketch import HashSketch, HashSketchSchema
@@ -87,7 +88,7 @@ class StreamEngine:
         from ..core.estimator import SkimmedSketchSchema
 
         if synopsis not in SYNOPSIS_KINDS:
-            raise ValueError(
+            raise ParameterError(
                 f"synopsis must be one of {SYNOPSIS_KINDS}, got {synopsis!r}"
             )
         self.domain_size = domain_size
@@ -249,7 +250,9 @@ class StreamEngine:
         """
         from .sql import parse_query
 
-        with _METRICS.timer("engine.sql.seconds"):
+        with _METRICS.timer(
+            "engine.sql.seconds"
+        ) if _METRICS.enabled else nullcontext():
             parsed = parse_query(text)
             if parsed.predicates:
                 raise QueryError(

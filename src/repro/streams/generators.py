@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from .model import FrequencyVector, Update, iter_stream
+from ..errors import ParameterError
 
 
 def zipf_probabilities(domain_size: int, z: float) -> np.ndarray:
@@ -31,9 +32,9 @@ def zipf_probabilities(domain_size: int, z: float) -> np.ndarray:
     (value 0 is the most frequent).
     """
     if domain_size < 1:
-        raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+        raise ParameterError(f"domain_size must be >= 1, got {domain_size}")
     if z < 0:
-        raise ValueError(f"zipf parameter must be non-negative, got {z}")
+        raise ParameterError(f"zipf parameter must be non-negative, got {z}")
     ranks = np.arange(1, domain_size + 1, dtype=np.float64)
     weights = ranks**-z
     return weights / weights.sum()
@@ -53,7 +54,7 @@ def zipf_frequencies(
     (deterministic, exactly reproducible shape).
     """
     if total < 0:
-        raise ValueError(f"total must be non-negative, got {total}")
+        raise ParameterError(f"total must be non-negative, got {total}")
     pmf = zipf_probabilities(domain_size, z)
     if rng is None:
         counts = np.floor(pmf * total)
@@ -76,7 +77,7 @@ def shifted_frequencies(frequencies: FrequencyVector, shift: int) -> FrequencyVe
     wraps cyclically, preserving the stream size exactly.
     """
     if shift < 0:
-        raise ValueError(f"shift must be non-negative, got {shift}")
+        raise ParameterError(f"shift must be non-negative, got {shift}")
     return FrequencyVector(np.roll(frequencies.counts, shift))
 
 
@@ -133,7 +134,7 @@ def census_like_pair(
     of the paper's experiment.
     """
     if num_records < 1:
-        raise ValueError(f"num_records must be >= 1, got {num_records}")
+        raise ParameterError(f"num_records must be >= 1, got {num_records}")
     rng = np.random.default_rng(seed)
 
     wages = rng.lognormal(mean=np.log(600.0), sigma=0.8, size=num_records)
@@ -177,7 +178,7 @@ def insert_delete_stream(
     would — the E8 delete experiment and tests rely on this.
     """
     if churn_fraction < 0:
-        raise ValueError(f"churn_fraction must be non-negative, got {churn_fraction}")
+        raise ParameterError(f"churn_fraction must be non-negative, got {churn_fraction}")
     base = element_stream(frequencies, rng)
     num_churn = int(round(churn_fraction * frequencies.absolute_mass()))
     if num_churn == 0:

@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import DomainError
+from ..errors import DomainError, ParameterError
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,9 +59,9 @@ class FrequencyVector:
     def __init__(self, counts: np.ndarray | Sequence[float]):
         arr = np.asarray(counts, dtype=np.float64)
         if arr.ndim != 1:
-            raise ValueError(f"frequency vector must be 1-D, got shape {arr.shape}")
+            raise ParameterError(f"frequency vector must be 1-D, got shape {arr.shape}")
         if arr.size == 0:
-            raise ValueError("frequency vector must cover a non-empty domain")
+            raise ParameterError("frequency vector must cover a non-empty domain")
         self._counts = arr.copy()
 
     # -- construction -----------------------------------------------------
@@ -70,7 +70,7 @@ class FrequencyVector:
     def zeros(cls, domain_size: int) -> "FrequencyVector":
         """Empty-stream frequency vector over ``[0, domain_size)``."""
         if domain_size < 1:
-            raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+            raise ParameterError(f"domain_size must be >= 1, got {domain_size}")
         return cls(np.zeros(domain_size))
 
     @classmethod
@@ -138,7 +138,7 @@ class FrequencyVector:
         else:
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != values.shape:
-                raise ValueError("weights must have the same shape as values")
+                raise ParameterError("weights must have the same shape as values")
             add = np.bincount(values, weights=weights, minlength=self.domain_size)
         self._counts += add
 
@@ -159,7 +159,7 @@ class FrequencyVector:
     def join_size(self, other: "FrequencyVector") -> float:
         """Exact ``COUNT(F join G) = <f, g>`` (requires equal domains)."""
         if other.domain_size != self.domain_size:
-            raise ValueError(
+            raise ParameterError(
                 f"domain mismatch: {self.domain_size} vs {other.domain_size}"
             )
         return float(np.dot(self._counts, other._counts))
@@ -177,12 +177,12 @@ class FrequencyVector:
 
     def __add__(self, other: "FrequencyVector") -> "FrequencyVector":
         if other.domain_size != self.domain_size:
-            raise ValueError("domain mismatch")
+            raise ParameterError("domain mismatch")
         return FrequencyVector(self._counts + other._counts)
 
     def __sub__(self, other: "FrequencyVector") -> "FrequencyVector":
         if other.domain_size != self.domain_size:
-            raise ValueError("domain mismatch")
+            raise ParameterError("domain mismatch")
         return FrequencyVector(self._counts - other._counts)
 
     def __eq__(self, other: object) -> bool:

@@ -32,7 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import DomainError, IncompatibleSketchError, QueryError
+from ..errors import DomainError, IncompatibleSketchError, ParameterError, QueryError
 from ..hashing import FourWiseSignFamily
 
 #: Cap on the (families x tuples) sign matrix materialised per bulk chunk.
@@ -61,14 +61,14 @@ class MultiJoinSchema:
         seed: int = 0,
     ):
         if averaging < 1:
-            raise ValueError(f"averaging must be >= 1, got {averaging}")
+            raise ParameterError(f"averaging must be >= 1, got {averaging}")
         if median < 1:
-            raise ValueError(f"median must be >= 1, got {median}")
+            raise ParameterError(f"median must be >= 1, got {median}")
         if not attribute_domains:
-            raise ValueError("at least one join attribute is required")
+            raise ParameterError("at least one join attribute is required")
         for name, domain in attribute_domains.items():
             if domain < 1:
-                raise ValueError(f"attribute {name!r} has invalid domain {domain}")
+                raise ParameterError(f"attribute {name!r} has invalid domain {domain}")
         self.averaging = averaging
         self.median = median
         self.attribute_domains = dict(attribute_domains)
@@ -102,7 +102,7 @@ class RelationSketch:
 
     def __init__(self, schema: MultiJoinSchema, attributes: tuple[str, ...]):
         if not attributes:
-            raise ValueError("a relation needs at least one join attribute")
+            raise ParameterError("a relation needs at least one join attribute")
         unknown = [a for a in attributes if a not in schema.attribute_domains]
         if unknown:
             raise QueryError(f"unknown join attributes {unknown}")
@@ -140,7 +140,7 @@ class RelationSketch:
         """Process a batch of tuples, shape ``(m, len(attributes))``."""
         tuples = np.asarray(tuples, dtype=np.int64)
         if tuples.ndim != 2 or tuples.shape[1] != len(self.attributes):
-            raise ValueError(
+            raise ParameterError(
                 f"tuples must have shape (m, {len(self.attributes)}), "
                 f"got {tuples.shape}"
             )
@@ -152,7 +152,7 @@ class RelationSketch:
         else:
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != (tuples.shape[0],):
-                raise ValueError("weights must have shape (m,)")
+                raise ParameterError("weights must have shape (m,)")
         flat = self._atomic.reshape(-1)
         num_families = self._schema.averaging * self._schema.median
         chunk = max(1, _BULK_CHUNK_ELEMENTS // num_families)

@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from .generators import zipf_probabilities
+from ..errors import ParameterError
 
 
 @dataclass(frozen=True)
@@ -70,9 +71,9 @@ class CDRSource:
         seed: int = 0,
     ):
         if num_subscribers < 2:
-            raise ValueError(f"need >= 2 subscribers, got {num_subscribers}")
+            raise ParameterError(f"need >= 2 subscribers, got {num_subscribers}")
         if num_cells < 1:
-            raise ValueError(f"need >= 1 cells, got {num_cells}")
+            raise ParameterError(f"need >= 1 cells, got {num_cells}")
         self.num_subscribers = num_subscribers
         self.num_cells = num_cells
         self._rng = np.random.default_rng(seed)
@@ -92,7 +93,7 @@ class CDRSource:
         record count is caller-controlled so tests stay deterministic.
         """
         if num_records < 0:
-            raise ValueError(f"num_records must be non-negative, got {num_records}")
+            raise ParameterError(f"num_records must be non-negative, got {num_records}")
         diurnal = 0.6 + 0.4 * math.sin(math.pi * (hour_of_day % 24.0) / 24.0)
         callers = self._rng.choice(
             self.num_subscribers, size=num_records, p=self._popularity
@@ -128,9 +129,9 @@ class SNMPSource:
         seed: int = 0,
     ):
         if num_interfaces < 1:
-            raise ValueError(f"need >= 1 interfaces, got {num_interfaces}")
+            raise ParameterError(f"need >= 1 interfaces, got {num_interfaces}")
         if mean_octets <= 0:
-            raise ValueError(f"mean_octets must be positive, got {mean_octets}")
+            raise ParameterError(f"mean_octets must be positive, got {mean_octets}")
         self.num_interfaces = num_interfaces
         self.mean_octets = mean_octets
         self._rng = np.random.default_rng(seed)
@@ -139,7 +140,7 @@ class SNMPSource:
     def polls(self, num_polls: int) -> Iterator[InterfaceSample]:
         """Yield ``num_polls`` interface samples."""
         if num_polls < 0:
-            raise ValueError(f"num_polls must be non-negative, got {num_polls}")
+            raise ParameterError(f"num_polls must be non-negative, got {num_polls}")
         interfaces = self._rng.choice(
             self.num_interfaces, size=num_polls, p=self._traffic_share
         )

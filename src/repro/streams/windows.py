@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import IncompatibleSketchError
+from ..errors import IncompatibleSketchError, ParameterError
 from ..sketches.base import StreamSynopsis
 from ..sketches.hash_sketch import HashSketch, HashSketchSchema
 
@@ -50,7 +50,7 @@ class WindowedSketchSchema:
         seed: int = 0,
     ):
         if window_epochs < 1:
-            raise ValueError(f"window_epochs must be >= 1, got {window_epochs}")
+            raise ParameterError(f"window_epochs must be >= 1, got {window_epochs}")
         self.window_epochs = window_epochs
         self.inner = HashSketchSchema(width, depth, domain_size, seed=seed)
 

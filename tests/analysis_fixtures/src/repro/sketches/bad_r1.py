@@ -1,0 +1,10 @@
+"""R1 fixture: implicit-dtype array construction in a kernel module."""
+
+import numpy as np
+
+
+def build_tables(values, depth, width):
+    vals = np.asarray(values)  # R1: dtype inherited from caller
+    counters = np.zeros((depth, width))  # R1: silently float64
+    scratch = np.empty(width)  # R1
+    return vals, counters, scratch

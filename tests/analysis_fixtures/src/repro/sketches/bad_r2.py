@@ -1,0 +1,21 @@
+"""R2 fixture: per-element Python work inside kernel hot paths."""
+
+import numpy as np
+
+
+class Sketch:
+    def update_bulk(self, values: np.ndarray) -> None:
+        for value in values:  # R2: Python loop over an ndarray
+            self.update(int(value))
+
+    def update(self, value: int) -> None:
+        pass
+
+    def point_estimate(self, value: int) -> float:
+        return 0.0
+
+    def estimate_all(self, values: np.ndarray) -> list:
+        # R2: comprehension over an ndarray + per-element point_estimate
+        estimates = [self.point_estimate(int(v)) for v in values]
+        # R2: .tolist() materialises the array
+        return estimates + values.tolist()

@@ -1,0 +1,10 @@
+"""R1 fixture (clean): every factory call pins its dtype."""
+
+import numpy as np
+
+
+def build_tables(values, depth, width):
+    vals = np.asarray(values, dtype=np.int64)
+    counters = np.zeros((depth, width), dtype=np.float64)
+    scratch = np.empty(width, dtype=np.float64)
+    return vals, counters, scratch

@@ -1,0 +1,9 @@
+"""Suppression fixture: violations silenced by ``# repro: noqa``."""
+
+import numpy as np
+
+
+def dispatch(values):
+    arr = np.asarray(values)  # repro: noqa[R1]
+    blanket = np.zeros(4)  # repro: noqa
+    return arr, blanket

@@ -1,0 +1,12 @@
+"""R4 fixture: ad-hoc hash/sign families built outside any schema."""
+
+import numpy as np
+
+from ..hashing import FourWiseSignFamily, PairwiseBucketHash
+
+
+def build_sketch_pair(depth, width, seed):
+    rng = np.random.default_rng(seed)
+    buckets = PairwiseBucketHash(depth, width, rng)  # R4
+    signs = FourWiseSignFamily(depth, rng)  # R4
+    return buckets, signs

@@ -1,0 +1,8 @@
+"""R5 fixture: bare ValueError and validation asserts in library code."""
+
+
+def configure(width, depth):
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")  # R5
+    assert depth >= 1, "depth must be >= 1"  # R5: vanishes under -O
+    return width, depth

@@ -1,0 +1,11 @@
+"""R6 fixture: unseeded RNG construction in library code."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_generators():
+    a = np.random.default_rng()  # R6: OS entropy, unreproducible
+    b = np.random.default_rng(None)  # R6: explicit None is still unseeded
+    c = default_rng()  # R6: bare import form
+    return a, b, c

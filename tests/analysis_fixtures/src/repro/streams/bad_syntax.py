@@ -1,0 +1,5 @@
+"""E1 fixture: a file that does not parse."""
+
+
+def broken(:
+    return None

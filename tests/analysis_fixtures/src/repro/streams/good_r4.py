@@ -1,0 +1,18 @@
+"""R4 fixture (clean): shared randomness lives in a schema object."""
+
+import numpy as np
+
+from ..hashing import FourWiseSignFamily, PairwiseBucketHash
+
+
+class StreamPairSchema:
+    """Schema classes are the sanctioned owners of the raw families."""
+
+    def __init__(self, depth, width, seed):
+        rng = np.random.default_rng(seed)
+        self.buckets = PairwiseBucketHash(depth, width, rng)
+        self.signs = FourWiseSignFamily(depth, rng)
+
+
+def build_sketch_pair(schema):
+    return schema.create_sketch(), schema.create_sketch()

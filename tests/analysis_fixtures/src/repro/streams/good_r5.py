@@ -1,0 +1,13 @@
+"""R5 fixture (clean): validation raises repro.errors types."""
+
+from ..errors import DomainError, ParameterError
+
+
+def configure(width, depth, domain_size, value):
+    if width < 1:
+        raise ParameterError(f"width must be >= 1, got {width}")
+    if depth < 1:
+        raise ParameterError(f"depth must be >= 1, got {depth}")
+    if not 0 <= value < domain_size:
+        raise DomainError(f"value {value} outside [0, {domain_size})")
+    return width, depth

@@ -1,0 +1,10 @@
+"""R6 fixture (clean): every RNG gets an explicit seed."""
+
+import numpy as np
+
+
+def make_generators(seed):
+    a = np.random.default_rng(seed)
+    children = np.random.SeedSequence(seed).spawn(2)
+    b = np.random.default_rng(children[0])
+    return a, b

@@ -1,0 +1,11 @@
+"""Role fixture: test code is exempt from every rule by default."""
+
+import numpy as np
+
+
+def test_things():
+    rng = np.random.default_rng()  # fine in tests (R6 is src-only)
+    arr = np.zeros(4)  # fine in tests (R1 is kernel-only)
+    assert arr.sum() == 0  # fine in tests (R5 is library-only)
+    if rng.integers(0, 2) > 1:  # never true; the raise is lint bait only
+        raise ValueError("tests may raise whatever they like")
