@@ -32,7 +32,7 @@ def test_threshold_ablation(benchmark):
         f"shift 50 [{scale.label}]",
         rows,
     )
-    emit("ablation_threshold", text)
+    emit("ablation_threshold", text, rows=rows)
 
     by_multiplier = {row["multiplier"]: row for row in rows}
     # Dense count shrinks monotonically as the threshold rises.

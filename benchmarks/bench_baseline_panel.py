@@ -48,7 +48,7 @@ def test_baseline_panel(benchmark):
             ),
         ]
     )
-    emit("baseline_panel", text)
+    emit("baseline_panel", text, rows={"perfect": perfect, "degraded": degraded})
 
     errors = {row["method"]: row["mean_error"] for row in perfect}
     # Skimmed beats the baselines the paper compares against.

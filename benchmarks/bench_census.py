@@ -27,7 +27,11 @@ def test_census(benchmark):
     )
     factors = result.improvement_factors("basic_agms", "skimmed")
     pretty = ", ".join(f"{b:.0f}w: {f:.1f}x" for b, f in factors)
-    emit("census", f"{text}\n\nimprovement (basic/skimmed): {pretty}")
+    emit(
+        "census",
+        f"{text}\n\nimprovement (basic/skimmed): {pretty}",
+        rows={"series_by_space": series, "improvement_factors": factors},
+    )
 
     basic = result.summary_for("basic_agms").mean
     skimmed = result.summary_for("skimmed").mean

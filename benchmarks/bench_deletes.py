@@ -45,7 +45,12 @@ def test_deletes(benchmark):
         rows,
         title="Join estimate under insert/delete churn (claim C4)",
     )
-    emit("deletes", text)
+    emit(
+        "deletes",
+        text,
+        rows=rows,
+        columns=["churn_fraction", "estimate", "actual", "symmetric_error"],
+    )
 
     errors = [row[3] for row in rows]
     # All churn levels land near the clean estimate; deletes are exact, so

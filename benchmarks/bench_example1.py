@@ -23,5 +23,5 @@ def test_example1(benchmark):
         [[key, value] for key, value in result.items()],
         title="Example 1 (reconstructed): max additive error bounds at equal space",
     )
-    emit("example1", text)
+    emit("example1", text, rows=result)
     assert result["improvement_factor"] > 4.0

@@ -32,7 +32,19 @@ def test_figure5a(benchmark):
         factors = result.improvement_factors("basic_agms", "skimmed")
         pretty = ", ".join(f"{b:.0f}w: {f:.1f}x" for b, f in factors)
         lines.append(f"improvement (basic/skimmed) shift={shift}: {pretty}")
-    emit("figure5a", "\n".join(lines))
+    emit(
+        "figure5a",
+        "\n".join(lines),
+        rows={
+            str(shift): {
+                "series_by_space": result.series_by_space(),
+                "improvement_factors": result.improvement_factors(
+                    "basic_agms", "skimmed"
+                ),
+            }
+            for shift, result in results.items()
+        },
+    )
 
     # Qualitative reproduction checks (who wins, by roughly what factor).
     for shift, result in results.items():

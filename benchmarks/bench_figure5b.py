@@ -30,7 +30,19 @@ def test_figure5b(benchmark):
         factors = result.improvement_factors("basic_agms", "skimmed")
         pretty = ", ".join(f"{b:.0f}w: {f:.1f}x" for b, f in factors)
         lines.append(f"improvement (basic/skimmed) shift={shift}: {pretty}")
-    emit("figure5b", "\n".join(lines))
+    emit(
+        "figure5b",
+        "\n".join(lines),
+        rows={
+            str(shift): {
+                "series_by_space": result.series_by_space(),
+                "improvement_factors": result.improvement_factors(
+                    "basic_agms", "skimmed"
+                ),
+            }
+            for shift, result in results.items()
+        },
+    )
 
     for shift, result in results.items():
         basic = result.summary_for("basic_agms").mean

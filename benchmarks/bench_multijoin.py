@@ -68,7 +68,12 @@ def test_multijoin(benchmark):
         rows,
         title="3-way chain join COUNT (multi-join extension, Zipf z=1.0 attrs)",
     )
-    emit("multijoin", text)
+    emit(
+        "multijoin",
+        text,
+        rows=rows,
+        columns=["space_words_per_relation", "mean_symmetric_error"],
+    )
 
     errors = [row[1] for row in rows]
     assert errors[-1] < errors[0], "error must shrink with space"

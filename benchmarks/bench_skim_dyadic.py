@@ -29,7 +29,7 @@ def test_dyadic_skim_cost(benchmark):
         "Dyadic SKIMDENSE descent cost vs flat domain scan (32 heavy values)",
         rows,
     )
-    emit("skim_dyadic", text)
+    emit("skim_dyadic", text, rows=rows)
 
     savings = [row["saving_factor"] for row in rows]
     assert savings == sorted(savings), "saving factor must grow with domain"

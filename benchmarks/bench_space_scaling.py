@@ -34,7 +34,7 @@ def test_space_scaling(benchmark):
         f"[{scale.label}]",
         rows,
     )
-    emit("space_scaling", text)
+    emit("space_scaling", text, rows=rows)
 
     # Join size decreases along the shift sweep.
     joins = [row["join_size"] for row in rows]

@@ -79,7 +79,18 @@ def test_update_cost_ratio(benchmark):
         rows,
         title="Per-element update cost (claim C3)",
     )
-    emit("update_time", text)
+    emit(
+        "update_time",
+        text,
+        rows=rows,
+        columns=[
+            "shape",
+            "counters",
+            "agms_us_per_elem",
+            "hash_us_per_elem",
+            "agms_over_hash",
+        ],
+    )
     small, large = rows[0][4], rows[1][4]
     # The gap must widen with synopsis size: hash-sketch cost is O(depth),
     # AGMS cost is O(width*depth).

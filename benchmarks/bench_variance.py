@@ -56,7 +56,12 @@ def test_variance(benchmark):
             "200x11 counters) — §5.2 variance observation"
         ),
     )
-    emit("variance", text)
+    emit(
+        "variance",
+        text,
+        rows=rows,
+        columns=["method", "mean_error", "error_stddev", "worst_error"],
+    )
 
     spread = {row[0]: row[2] for row in rows}
     assert spread["skimmed"] < spread["basic_agms"]

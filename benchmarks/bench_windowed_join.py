@@ -69,7 +69,12 @@ def test_windowed_join(benchmark):
             f"flips at epoch {EPOCHS // 2})"
         ),
     )
-    emit("windowed_join", text)
+    emit(
+        "windowed_join",
+        text,
+        rows=rows,
+        columns=["epoch", "shift", "windowed_estimate", "exact_windowed_join", "error"],
+    )
 
     errors = [row[4] for row in rows]
     assert max(errors) < 0.2

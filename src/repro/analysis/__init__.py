@@ -6,14 +6,15 @@ Section 4.3), sign families must be four-wise independent, per-element
 update cost must stay ``O(depth)`` — which in this repo means vectorised
 numpy kernels with explicit dtypes, never Python-level per-element
 loops.  This package makes those conventions machine-checked: a
-dependency-free (stdlib ``ast``) rule engine, a CLI, and six rules:
+dependency-free (stdlib ``ast``) rule engine, a CLI, and seven rules:
 
 * **R1** — explicit ``dtype`` in kernel array construction;
 * **R2** — no per-element Python loops in kernel hot paths;
 * **R3** — ``_METRICS`` recording guarded by the ``enabled`` flag;
 * **R4** — sketch randomness constructed via ``*Schema`` objects only;
 * **R5** — library errors derive from ``repro.errors``;
-* **R6** — RNGs constructed with explicit seeds.
+* **R6** — RNGs constructed with explicit seeds;
+* **R7** — ``_TRACER`` span recording guarded by the ``enabled`` flag.
 
 Run it::
 

@@ -9,6 +9,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     r4_randomness,
     r5_errors,
     r6_rng,
+    r7_tracing,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "r4_randomness",
     "r5_errors",
     "r6_rng",
+    "r7_tracing",
 ]

@@ -1,0 +1,123 @@
+"""R7 — span recording must sit behind the ``TRACER.enabled`` flag."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: The conventional names the process-wide tracer is imported under.
+TRACER_NAME_RE = re.compile(r"^_?TRACER$")
+
+#: Tracer methods that record.  Administrative methods (enable/disable/
+#: reset/snapshot/spans/find/children_of) are free to call.
+RECORDING_METHODS = frozenset({"span", "instant"})
+
+
+def _is_tracer_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and TRACER_NAME_RE.match(node.id) is not None
+
+
+def _mentions_enabled(test: ast.expr) -> bool:
+    """Does ``test`` read ``<TRACER>.enabled``?"""
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "enabled"
+            and _is_tracer_name(node.value)
+        ):
+            return True
+    return False
+
+
+def _is_guard_return(stmt: ast.stmt) -> bool:
+    """``if not TRACER.enabled: return`` (early-exit guard) detection."""
+    if not isinstance(stmt, ast.If) or not _mentions_enabled(stmt.test):
+        return False
+    return any(isinstance(s, (ast.Return, ast.Raise)) for s in stmt.body)
+
+
+@register
+class GuardedTracing(Rule):
+    """Every ``_TRACER`` recording call must be guarded by ``.enabled``.
+
+    The query-path tracer makes the same promise the metrics registry
+    does: *disabled* instrumentation costs one attribute read and one
+    branch per call site.  (The tracer's methods do self-guard, but an
+    unguarded call still pays argument construction and a function call
+    on the hot path — the rule keeps the guarantee lexical, exactly as
+    R3 does for ``_METRICS``.)  Accepted guard shapes::
+
+        if _TRACER.enabled:
+            _TRACER.instant("sketch.update", tables=depth)
+
+        with _TRACER.span("skim", kind="flat") if _TRACER.enabled \\
+                else nullcontext():
+            ...
+
+        def _record(...):
+            if not _TRACER.enabled:
+                return          # early-exit guard; rest of body is guarded
+            _TRACER.instant(...)
+
+    Example violation::
+
+        with _TRACER.span("engine.answer"):    # R7 (no guard in sight)
+    """
+
+    rule_id = "R7"
+    title = "span recording guarded by the enabled flag"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role in (Role.KERNEL, Role.LIBRARY)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(ctx.tree)), False)
+
+    def _visit_block(
+        self, ctx: FileContext, nodes: list[ast.AST], guarded: bool
+    ) -> Iterator[Finding]:
+        for node in nodes:
+            yield from self._visit(ctx, node, guarded)
+
+    def _visit(self, ctx: FileContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A guard outside the def does not guard calls made later.
+            body_guarded = False
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, body_guarded)
+                if not body_guarded and _is_guard_return(stmt):
+                    body_guarded = True
+            return
+        if isinstance(node, ast.If):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit_block(ctx, list(node.body), branch_guarded)
+            yield from self._visit_block(ctx, list(node.orelse), branch_guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit(ctx, node.body, branch_guarded)
+            yield from self._visit(ctx, node.orelse, branch_guarded)
+            return
+        if (
+            not guarded
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RECORDING_METHODS
+            and _is_tracer_name(node.func.value)
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"unguarded _TRACER.{node.func.attr}(...) — wrap in "
+                "'if _TRACER.enabled:' so disabled tracing stays free",
+            )
+            # fall through: nested calls in arguments are reported too
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(node)), guarded)

@@ -1,0 +1,48 @@
+"""Machine-readable performance-trajectory harness (``repro.bench``).
+
+The ad-hoc ``benchmarks/bench_*.py`` scripts print tables for humans;
+this package makes the same performance story *diffable across commits*.
+A uniform runner executes a registered suite of deterministic scenarios
+and emits one versioned JSON "BENCH" document per run::
+
+    python -m repro.bench run --suite smoke --json-out BENCH_<rev>.json
+    python -m repro.bench compare baselines/BENCH_baseline.json BENCH_abc.json
+
+``compare`` exits non-zero when a record regresses past its threshold,
+which is what lets CI hold the line on accuracy and sketch size (both
+seed-deterministic) and lets a developer hold it on wall-clock locally.
+
+Design contract (shared with :mod:`repro.obs` and :mod:`repro.trace`):
+importing this package pulls in **no third-party dependencies** — numpy
+and the repro kernels load lazily only when scenarios actually run.
+"""
+
+from .runner import DEFAULT_REPEATS, detect_revision, run_scenario, run_suite
+from .scenarios import SCENARIOS, Scenario, scenarios_for, suite_names
+from .schema import (
+    BENCH_VERSION,
+    compare_bench,
+    read_bench,
+    record_key,
+    render_compare,
+    validate_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_VERSION",
+    "DEFAULT_REPEATS",
+    "SCENARIOS",
+    "Scenario",
+    "compare_bench",
+    "detect_revision",
+    "read_bench",
+    "record_key",
+    "render_compare",
+    "run_scenario",
+    "run_suite",
+    "scenarios_for",
+    "suite_names",
+    "validate_bench",
+    "write_bench",
+]

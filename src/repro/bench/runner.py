@@ -1,0 +1,96 @@
+"""Uniform scenario runner: repeats, robust statistics, BENCH assembly."""
+
+from __future__ import annotations
+
+import os
+import statistics
+import subprocess
+from typing import Any, Callable
+
+from .schema import BENCH_VERSION, validate_bench
+from .scenarios import Scenario, scenarios_for
+
+#: Default timing repeats per scenario.
+DEFAULT_REPEATS = 5
+
+
+def detect_revision() -> str:
+    """Best-effort identifier for the code under measurement.
+
+    ``REPRO_REVISION`` wins (lets CI pin the value), then the git short
+    hash, then ``"unknown"`` — a BENCH file is still useful without one.
+    """
+    env = os.environ.get("REPRO_REVISION")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_scenario(
+    scenario: Scenario, params: dict[str, Any], repeats: int = DEFAULT_REPEATS
+) -> dict[str, Any]:
+    """Run one scenario ``repeats`` times; return its BENCH record.
+
+    Wall-clock is summarised as median and IQR over the repeats (robust
+    to scheduler noise); the deterministic extras (relative error, sketch
+    bytes) are taken from the last repeat — they are identical in all of
+    them by the scenario contract.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timings: list[float] = []
+    extras: dict[str, Any] = {}
+    for _ in range(repeats):
+        elapsed, extras = scenario.run(dict(params))
+        timings.append(elapsed)
+    median = statistics.median(timings)
+    if len(timings) >= 2:
+        quartiles = statistics.quantiles(timings, n=4, method="inclusive")
+        iqr = quartiles[2] - quartiles[0]
+    else:
+        iqr = 0.0
+    updates = extras.get("updates")
+    return {
+        "scenario": scenario.name,
+        "params": dict(params),
+        "wall_clock": {"median": median, "iqr": iqr, "repeats": repeats},
+        "updates_per_sec": (updates / median) if updates and median > 0 else None,
+        "relative_error": extras.get("relative_error"),
+        "sketch_bytes": extras.get("sketch_bytes"),
+    }
+
+
+def run_suite(
+    suite: str,
+    repeats: int = DEFAULT_REPEATS,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run every scenario registered for ``suite``; return a BENCH doc."""
+    pairs = scenarios_for(suite)
+    if not pairs:
+        raise ValueError(f"unknown suite {suite!r}")
+    records = []
+    for scenario, params in pairs:
+        if progress is not None:
+            progress(f"running {scenario.name} {params}")
+        records.append(run_scenario(scenario, params, repeats))
+    return validate_bench(
+        {
+            "version": BENCH_VERSION,
+            "kind": "repro.bench",
+            "suite": suite,
+            "revision": detect_revision(),
+            "records": records,
+        }
+    )

@@ -1,0 +1,285 @@
+"""Benchmark scenario registry.
+
+Each scenario wraps one of the repo's performance-relevant code paths —
+sketch update throughput, SKIMDENSE, and the skimmed-join accuracy
+comparisons behind ``benchmarks/bench_*.py`` — as a deterministic,
+parameterised measurement the uniform runner in ``__main__`` can time.
+
+Contract
+--------
+* This module imports without numpy (``python -m repro.bench list`` must
+  work on a bare box); numpy and the repro kernels are imported lazily
+  inside each scenario's ``run``.
+* ``run(params)`` performs setup untimed, times exactly one execution of
+  the operation of interest, and returns ``(elapsed_seconds, extras)``.
+  ``extras`` may carry ``updates`` (elements processed, from which the
+  runner derives updates/sec), ``relative_error`` and ``sketch_bytes``.
+* Everything non-timing is seed-deterministic: frequency vectors are the
+  deterministic (``rng=None``) generator variants or fixed-seed draws,
+  and sketch schemas use fixed seeds — so ``relative_error`` and
+  ``sketch_bytes`` are bit-stable across runs and machines, and the
+  ``compare`` gates on them are meaningful in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+_BYTES_PER_COUNTER = 8  # all sketch counter arrays are float64
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario.
+
+    ``suites`` maps suite name -> params; a scenario absent from a suite
+    simply does not run there.
+    """
+
+    name: str
+    description: str
+    suites: dict[str, dict[str, Any]]
+    run: Callable[[dict[str, Any]], tuple[float, dict[str, Any]]]
+
+
+SCENARIOS: list[Scenario] = []
+
+
+def _register(
+    name: str, description: str, suites: dict[str, dict[str, Any]]
+) -> Callable[
+    [Callable[[dict[str, Any]], tuple[float, dict[str, Any]]]],
+    Callable[[dict[str, Any]], tuple[float, dict[str, Any]]],
+]:
+    def decorate(
+        fn: Callable[[dict[str, Any]], tuple[float, dict[str, Any]]]
+    ) -> Callable[[dict[str, Any]], tuple[float, dict[str, Any]]]:
+        SCENARIOS.append(Scenario(name, description, suites, fn))
+        return fn
+
+    return decorate
+
+
+def scenarios_for(suite: str) -> list[tuple[Scenario, dict[str, Any]]]:
+    """The (scenario, params) pairs making up a suite."""
+    return [(s, s.suites[suite]) for s in SCENARIOS if suite in s.suites]
+
+
+def suite_names() -> list[str]:
+    """All suite names any scenario participates in."""
+    names: set[str] = set()
+    for scenario in SCENARIOS:
+        names.update(scenario.suites)
+    return sorted(names)
+
+
+def _update_stream(params: dict[str, Any]):
+    """Deterministic batch of update values for throughput scenarios."""
+    import numpy as np
+
+    rng = np.random.default_rng(params["seed"])
+    return rng.integers(0, params["domain"], params["n"], dtype=np.int64)
+
+
+@_register(
+    "update.hash",
+    "HashSketch.update_bulk throughput (paper's O(depth)-per-update synopsis)",
+    {
+        "smoke": {"n": 50_000, "domain": 1 << 12, "width": 256, "depth": 7, "seed": 7},
+        "full": {"n": 500_000, "domain": 1 << 16, "width": 1024, "depth": 9, "seed": 7},
+    },
+)
+def _run_update_hash(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..sketches import HashSketchSchema
+
+    values = _update_stream(params)
+    sketch = HashSketchSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    ).create_sketch()
+    start = time.perf_counter()
+    sketch.update_bulk(values)
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "updates": params["n"],
+        "sketch_bytes": sketch.size_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+@_register(
+    "update.agms",
+    "Basic AGMS update_bulk throughput at matched counter budget (the "
+    "O(s1*s2) baseline the paper's hash sketches beat)",
+    {
+        "smoke": {"n": 2_000, "domain": 1 << 12, "averaging": 256, "median": 7, "seed": 7},
+        "full": {"n": 20_000, "domain": 1 << 16, "averaging": 1024, "median": 9, "seed": 7},
+    },
+)
+def _run_update_agms(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..sketches import AGMSSchema
+
+    values = _update_stream(params)
+    sketch = AGMSSchema(
+        params["averaging"], params["median"], params["domain"], seed=params["seed"]
+    ).create_sketch()
+    start = time.perf_counter()
+    sketch.update_bulk(values)
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "updates": params["n"],
+        "sketch_bytes": sketch.size_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+def _loaded_skimmed_sketch(params: dict[str, Any], dyadic: bool):
+    from ..core import SkimmedSketchSchema
+    from ..streams.generators import zipf_frequencies
+
+    frequencies = zipf_frequencies(params["domain"], params["total"], params["z"])
+    schema = SkimmedSketchSchema(
+        params["width"],
+        params["depth"],
+        params["domain"],
+        seed=params["seed"],
+        dyadic=dyadic,
+    )
+    return schema.sketch_of(frequencies)
+
+
+_SKIM_SUITES = {
+    "smoke": {"domain": 1 << 10, "total": 20_000, "z": 1.0, "width": 128, "depth": 5, "seed": 11},
+    "full": {"domain": 1 << 14, "total": 200_000, "z": 1.0, "width": 512, "depth": 7, "seed": 11},
+}
+
+
+@_register(
+    "skim.flat",
+    "SKIMDENSE via flat full-domain scan",
+    _SKIM_SUITES,
+)
+def _run_skim_flat(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    sketch = _loaded_skimmed_sketch(params, dyadic=False)
+    start = time.perf_counter()
+    sketch.skim()
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "sketch_bytes": sketch.size_in_counters() * _BYTES_PER_COUNTER
+    }
+
+
+@_register(
+    "skim.dyadic",
+    "SKIMDENSE via the Section 4.2 dyadic pruned descent",
+    _SKIM_SUITES,
+)
+def _run_skim_dyadic(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    sketch = _loaded_skimmed_sketch(params, dyadic=True)
+    start = time.perf_counter()
+    sketch.skim()
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "sketch_bytes": sketch.size_in_counters() * _BYTES_PER_COUNTER
+    }
+
+
+_JOIN_SUITES = {
+    "smoke": {
+        "domain": 1 << 10,
+        "total": 20_000,
+        "z": 1.0,
+        "shift": 64,
+        "width": 128,
+        "depth": 5,
+        "seed": 23,
+    },
+    "full": {
+        "domain": 1 << 14,
+        "total": 200_000,
+        "z": 1.0,
+        "shift": 1024,
+        "width": 512,
+        "depth": 7,
+        "seed": 23,
+    },
+}
+
+
+def _join_pair(params: dict[str, Any]):
+    from ..streams.generators import shifted_zipf_pair
+
+    return shifted_zipf_pair(
+        params["domain"], params["total"], params["z"], params["shift"]
+    )
+
+
+def _relative_error(estimate: float, exact: float) -> float:
+    return abs(estimate - exact) / exact if exact else 0.0
+
+
+@_register(
+    "join.skimmed",
+    "Skimmed-sketch join estimate: accuracy vs exact and query latency "
+    "(the paper's estimator on its shifted-Zipf workload)",
+    _JOIN_SUITES,
+)
+def _run_join_skimmed(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..core import SkimmedSketchSchema
+
+    f, g = _join_pair(params)
+    schema = SkimmedSketchSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    )
+    sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+    start = time.perf_counter()
+    estimate = sf.est_join_size(sg)
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "relative_error": _relative_error(estimate, f.join_size(g)),
+        "sketch_bytes": sf.size_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+@_register(
+    "join.agms",
+    "Basic AGMS join estimate at matched counter budget (Figure 5's "
+    "comparison baseline)",
+    _JOIN_SUITES,
+)
+def _run_join_agms(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..sketches import AGMSSchema
+
+    f, g = _join_pair(params)
+    schema = AGMSSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    )
+    sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+    start = time.perf_counter()
+    estimate = sf.est_join_size(sg)
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "relative_error": _relative_error(estimate, f.join_size(g)),
+        "sketch_bytes": sf.size_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+@_register(
+    "join.hash",
+    "Unskimmed hash-sketch join estimate (what skimming improves on)",
+    _JOIN_SUITES,
+)
+def _run_join_hash(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..sketches import HashSketchSchema
+
+    f, g = _join_pair(params)
+    schema = HashSketchSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    )
+    sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+    start = time.perf_counter()
+    estimate = sf.est_join_size(sg)
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "relative_error": _relative_error(estimate, f.join_size(g)),
+        "sketch_bytes": sf.size_in_counters() * _BYTES_PER_COUNTER,
+    }

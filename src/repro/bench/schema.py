@@ -1,0 +1,226 @@
+"""BENCH file schema, validation and the trajectory ``compare`` logic.
+
+A BENCH file is one point on the repo's performance trajectory: a
+versioned JSON document of per-scenario records
+
+.. code-block:: json
+
+    {"version": 1, "kind": "repro.bench", "suite": "smoke",
+     "revision": "abc1234",
+     "records": [{"scenario": "...", "params": {...},
+                  "wall_clock": {"median": 0.01, "iqr": 0.001, "repeats": 5},
+                  "updates_per_sec": 1e6,
+                  "relative_error": 0.03,
+                  "sketch_bytes": 14336}]}
+
+``updates_per_sec`` / ``relative_error`` / ``sketch_bytes`` are ``null``
+where a scenario has no such axis.  Records are matched across files by
+``(scenario, params)``, so a parameter change is a *new* trajectory
+point, never a silent comparison of unlike workloads.
+
+``compare_bench`` diffs two documents and classifies regressions:
+
+* wall-clock: current median beyond ``max_slowdown`` x baseline
+  (``max_slowdown <= 0`` disables the timing gate — the right choice
+  when baseline and current ran on different machines, e.g. CI);
+* accuracy: ``relative_error`` grew by more than ``max_error_increase``
+  (absolute delta; errors are seed-deterministic, so any growth is a
+  real behaviour change);
+* space: ``sketch_bytes`` grew beyond ``max_bytes_growth`` x baseline.
+
+Like the rest of this package, stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: BENCH document schema version.
+BENCH_VERSION = 1
+
+_WALL_FIELDS = ("median", "iqr", "repeats")
+_OPTIONAL_METRICS = ("updates_per_sec", "relative_error", "sketch_bytes")
+
+
+def validate_bench(doc: Any) -> dict[str, Any]:
+    """Check a BENCH document against the schema; returns it unchanged.
+
+    Raises ``ValueError`` describing the first violation.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"BENCH document must be a dict, got {type(doc).__name__}")
+    if doc.get("version") != BENCH_VERSION:
+        raise ValueError(
+            f"unsupported BENCH version {doc.get('version')!r} "
+            f"(expected {BENCH_VERSION})"
+        )
+    if doc.get("kind") != "repro.bench":
+        raise ValueError(f"unexpected BENCH kind {doc.get('kind')!r}")
+    for field in ("suite", "revision"):
+        if not isinstance(doc.get(field), str) or not doc[field]:
+            raise ValueError(f"BENCH field {field!r} missing or empty")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("BENCH section 'records' missing or empty")
+    seen: set[str] = set()
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(f"records[{index}] is not a dict")
+        if not isinstance(record.get("scenario"), str) or not record["scenario"]:
+            raise ValueError(f"records[{index}]['scenario'] missing or empty")
+        if not isinstance(record.get("params"), dict):
+            raise ValueError(f"records[{index}]['params'] must be a dict")
+        key = record_key(record)
+        if key in seen:
+            raise ValueError(f"records[{index}] duplicates {key}")
+        seen.add(key)
+        wall = record.get("wall_clock")
+        if not isinstance(wall, dict):
+            raise ValueError(f"records[{index}]['wall_clock'] must be a dict")
+        missing = [f for f in _WALL_FIELDS if f not in wall]
+        if missing:
+            raise ValueError(f"records[{index}]['wall_clock'] missing {missing}")
+        for field in _WALL_FIELDS:
+            if not isinstance(wall[field], (int, float)) or wall[field] < 0:
+                raise ValueError(
+                    f"records[{index}]['wall_clock'][{field!r}] must be "
+                    f"a non-negative number, got {wall[field]!r}"
+                )
+        for field in _OPTIONAL_METRICS:
+            if field not in record:
+                raise ValueError(f"records[{index}] missing field {field!r}")
+            value = record[field]
+            if value is not None and (
+                not isinstance(value, (int, float)) or value < 0
+            ):
+                raise ValueError(
+                    f"records[{index}][{field!r}] must be null or a "
+                    f"non-negative number, got {value!r}"
+                )
+    return doc
+
+
+def record_key(record: dict[str, Any]) -> str:
+    """Stable identity of one record: scenario plus canonicalised params."""
+    return f"{record['scenario']}::{json.dumps(record['params'], sort_keys=True)}"
+
+
+def compare_bench(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    max_slowdown: float = 2.0,
+    max_error_increase: float = 0.05,
+    max_bytes_growth: float = 1.05,
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Diff two validated BENCH documents.
+
+    Returns ``(rows, regressions)``: one row per record key across both
+    files (``status``: matched/added/removed plus per-axis deltas), and a
+    list of human-readable regression descriptions (empty == pass).
+    """
+    validate_bench(baseline)
+    validate_bench(current)
+    base_by_key = {record_key(r): r for r in baseline["records"]}
+    cur_by_key = {record_key(r): r for r in current["records"]}
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    for key in sorted(set(base_by_key) | set(cur_by_key)):
+        base, cur = base_by_key.get(key), cur_by_key.get(key)
+        if base is None:
+            rows.append({"key": key, "status": "added"})
+            continue
+        if cur is None:
+            rows.append({"key": key, "status": "removed"})
+            regressions.append(f"{key}: scenario disappeared from current file")
+            continue
+        row: dict[str, Any] = {"key": key, "status": "matched"}
+        base_median = base["wall_clock"]["median"]
+        cur_median = cur["wall_clock"]["median"]
+        row["wall_clock"] = {"baseline": base_median, "current": cur_median}
+        if base_median > 0:
+            ratio = cur_median / base_median
+            row["wall_clock"]["ratio"] = ratio
+            if max_slowdown > 0 and ratio > max_slowdown:
+                regressions.append(
+                    f"{key}: wall-clock median {cur_median:.6f}s is "
+                    f"{ratio:.2f}x baseline {base_median:.6f}s "
+                    f"(limit {max_slowdown:.2f}x)"
+                )
+        for field in _OPTIONAL_METRICS:
+            if base[field] is None or cur[field] is None:
+                continue
+            row[field] = {"baseline": base[field], "current": cur[field]}
+        err = row.get("relative_error")
+        if err is not None:
+            delta = err["current"] - err["baseline"]
+            err["delta"] = delta
+            if delta > max_error_increase:
+                regressions.append(
+                    f"{key}: relative error grew {err['baseline']:.4f} -> "
+                    f"{err['current']:.4f} (+{delta:.4f}, limit "
+                    f"+{max_error_increase:.4f})"
+                )
+        size = row.get("sketch_bytes")
+        if size is not None and size["baseline"] > 0:
+            ratio = size["current"] / size["baseline"]
+            size["ratio"] = ratio
+            if ratio > max_bytes_growth:
+                regressions.append(
+                    f"{key}: sketch bytes grew {size['baseline']} -> "
+                    f"{size['current']} ({ratio:.3f}x, limit "
+                    f"{max_bytes_growth:.3f}x)"
+                )
+        rows.append(row)
+    return rows, regressions
+
+
+def render_compare(rows: list[dict[str, Any]], regressions: list[str]) -> str:
+    """Human-readable report for ``python -m repro.bench compare``."""
+    lines = []
+    for row in rows:
+        if row["status"] != "matched":
+            lines.append(f"{row['status']:>8}  {row['key']}")
+            continue
+        wall = row["wall_clock"]
+        ratio = wall.get("ratio")
+        parts = [
+            f"time {wall['baseline'] * 1e3:.3f}ms -> {wall['current'] * 1e3:.3f}ms"
+            + (f" ({ratio:.2f}x)" if ratio is not None else "")
+        ]
+        if "relative_error" in row:
+            err = row["relative_error"]
+            parts.append(
+                f"err {err['baseline']:.4f} -> {err['current']:.4f}"
+            )
+        if "sketch_bytes" in row:
+            size = row["sketch_bytes"]
+            parts.append(f"bytes {size['baseline']} -> {size['current']}")
+        if "updates_per_sec" in row:
+            ups = row["updates_per_sec"]
+            parts.append(
+                f"upd/s {ups['baseline']:.3g} -> {ups['current']:.3g}"
+            )
+        lines.append(f" matched  {row['key']}\n          {'; '.join(parts)}")
+    if regressions:
+        lines.append("")
+        lines.append(f"REGRESSIONS ({len(regressions)}):")
+        lines.extend(f"  - {r}" for r in regressions)
+    else:
+        lines.append("")
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
+def write_bench(path: str, doc: dict[str, Any]) -> None:
+    """Validate and write a BENCH document as JSON."""
+    validate_bench(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def read_bench(path: str) -> dict[str, Any]:
+    """Load and validate a BENCH document."""
+    with open(path, encoding="utf-8") as fh:
+        return validate_bench(json.load(fh))

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import IncompatibleSketchError, ParameterError
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from ..sketches.base import StreamSynopsis
 from ..sketches.dyadic import DyadicHashSketch, DyadicSketchSchema
 from ..sketches.hash_sketch import HashSketch, HashSketchSchema
@@ -210,9 +211,17 @@ class SkimmedSketch(StreamSynopsis):
         with _METRICS.timer(
             "estimate.skim_join.seconds"
         ) if _METRICS.enabled else nullcontext():
-            f_skim, f_res = self.skim(threshold)
-            g_skim, g_res = other.skim(threshold)
-            return est_skim_join_size_from_parts(f_skim, f_res, g_skim, g_res)
+            with _TRACER.span(
+                "estimate.skim_join",
+                s1=self._schema.width,
+                s2=self._schema.depth,
+                dyadic=self._schema.dyadic,
+                n_f=float(self.absolute_mass),
+                n_g=float(other.absolute_mass),
+            ) if _TRACER.enabled else nullcontext():
+                f_skim, f_res = self.skim(threshold)
+                g_skim, g_res = other.skim(threshold)
+                return est_skim_join_size_from_parts(f_skim, f_res, g_skim, g_res)
 
     def est_join_size(self, other: "SkimmedSketch") -> float:
         """Skimmed-sketch estimate of ``COUNT(F join G)``."""

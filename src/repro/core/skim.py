@@ -32,6 +32,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from ..sketches.dyadic import DyadicHashSketch
 from ..sketches.hash_sketch import HashSketch
 from ..streams.model import FrequencyVector
@@ -148,12 +149,20 @@ def skim_dense(
         return SkimResult(_Empty().values, _Empty().frequencies, threshold), target
 
     with _METRICS.timer("skim.seconds") if _METRICS.enabled else nullcontext():
-        estimates = target.all_point_estimates()
-        dense_mask = estimates >= threshold
-        dense_values = np.flatnonzero(dense_mask).astype(np.int64)
-        dense_frequencies = estimates[dense_mask]
-        if dense_values.size:
-            target.subtract_frequencies(dense_values, dense_frequencies)
+        with _TRACER.span(
+            "skim",
+            kind="flat",
+            threshold=float(threshold),
+            n=float(sketch.absolute_mass),
+        ) if _TRACER.enabled else nullcontext() as sp:
+            estimates = target.all_point_estimates()
+            dense_mask = estimates >= threshold
+            dense_values = np.flatnonzero(dense_mask).astype(np.int64)
+            dense_frequencies = estimates[dense_mask]
+            if dense_values.size:
+                target.subtract_frequencies(dense_values, dense_frequencies)
+            if sp is not None:
+                sp.set(dense=int(dense_values.size))
     if _METRICS.enabled:
         _record_skim_metrics("flat", threshold, int(dense_values.size))
     return SkimResult(dense_values, dense_frequencies, float(threshold)), target
@@ -181,25 +190,37 @@ def skim_dense_dyadic(
         return SkimResult(_Empty().values, _Empty().frequencies, threshold), target
 
     with _METRICS.timer("skim.seconds") if _METRICS.enabled else nullcontext():
-        dense_values = target.heavy_values(threshold)
-        if dense_values.size == 0:
-            if _METRICS.enabled:
-                _record_skim_metrics("dyadic", threshold, 0)
-            return (
-                SkimResult(_Empty().values, _Empty().frequencies, float(threshold)),
-                target,
-            )
+        with _TRACER.span(
+            "skim",
+            kind="dyadic",
+            threshold=float(threshold),
+            n=float(sketch.absolute_mass),
+        ) if _TRACER.enabled else nullcontext() as sp:
+            dense_values = target.heavy_values(threshold)
+            if dense_values.size == 0:
+                if sp is not None:
+                    sp.set(dense=0)
+                if _METRICS.enabled:
+                    _record_skim_metrics("dyadic", threshold, 0)
+                return (
+                    SkimResult(
+                        _Empty().values, _Empty().frequencies, float(threshold)
+                    ),
+                    target,
+                )
 
-        dense_frequencies = target.base_sketch.point_estimates(dense_values)
-        # The descent already filtered on the level-0 estimate, but guard against
-        # borderline values whose estimate is non-positive (possible only through
-        # median noise on adversarial inputs): extracting a non-positive
-        # "frequency" would *add* mass to the residual.
-        keep = dense_frequencies >= threshold
-        dense_values = dense_values[keep]
-        dense_frequencies = dense_frequencies[keep]
-        if dense_values.size:
-            target.subtract_frequencies(dense_values, dense_frequencies)
+            dense_frequencies = target.base_sketch.point_estimates(dense_values)
+            # The descent already filtered on the level-0 estimate, but guard
+            # against borderline values whose estimate is non-positive (possible
+            # only through median noise on adversarial inputs): extracting a
+            # non-positive "frequency" would *add* mass to the residual.
+            keep = dense_frequencies >= threshold
+            dense_values = dense_values[keep]
+            dense_frequencies = dense_frequencies[keep]
+            if dense_values.size:
+                target.subtract_frequencies(dense_values, dense_frequencies)
+            if sp is not None:
+                sp.set(dense=int(dense_values.size))
     if _METRICS.enabled:
         _record_skim_metrics("dyadic", threshold, int(dense_values.size))
     return SkimResult(dense_values, dense_frequencies, float(threshold)), target

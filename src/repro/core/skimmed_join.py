@@ -28,12 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 
 import numpy as np
 
 from ..errors import IncompatibleSketchError, ParameterError
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from ..sketches.dyadic import DyadicHashSketch
 from ..sketches.hash_sketch import HashSketch
 from .skim import SkimResult, skim_dense, skim_dense_dyadic
@@ -66,11 +67,32 @@ def est_sub_join_size(
     if dense_values.size == 0:
         return 0.0
     schema = sketch.schema
-    buckets = schema.buckets.buckets(dense_values)
-    signs = schema.signs.signs(dense_values)
-    table_index = np.arange(schema.depth)[:, None]
-    per_table = (sketch.counters[table_index, buckets] * signs) @ dense_frequencies
-    return float(np.median(per_table))
+    with _TRACER.span(
+        "estimate.median_boost", tables=schema.depth, dense=int(dense_values.size)
+    ) if _TRACER.enabled else nullcontext() as sp:
+        buckets = schema.buckets.buckets(dense_values)
+        signs = schema.signs.signs(dense_values)
+        table_index = np.arange(schema.depth)[:, None]
+        per_table = (sketch.counters[table_index, buckets] * signs) @ dense_frequencies
+        estimate = float(np.median(per_table))
+        if sp is not None:
+            sp.set(median=estimate)
+    return estimate
+
+
+def _term_context(term: str) -> ExitStack:
+    """Combined metrics-timer + tracer-span context for one sub-join term.
+
+    Both layers stay individually guarded, so with both disabled the cost
+    is one empty :class:`ExitStack` per term per join estimate — query
+    granularity, never per element.
+    """
+    stack = ExitStack()
+    if _METRICS.enabled:
+        stack.enter_context(_METRICS.timer(f"estimate.term.{term}.seconds"))
+    if _TRACER.enabled:
+        stack.enter_context(_TRACER.span("estimate.term", term=term))
+    return stack
 
 
 def _dense_dense_join(f_skim: SkimResult, g_skim: SkimResult) -> float:
@@ -160,25 +182,17 @@ def est_skim_join_size_from_parts(
         + np.sqrt(sj_g_dense * sj_f_res)
         + np.sqrt(sj_f_res * sj_g_res)
     )
-    with _METRICS.timer(
-        "estimate.term.dense_dense.seconds"
-    ) if _METRICS.enabled else nullcontext():
+    with _term_context("dense_dense"):
         dense_dense = _dense_dense_join(f_skim, g_skim)
-    with _METRICS.timer(
-        "estimate.term.dense_sparse.seconds"
-    ) if _METRICS.enabled else nullcontext():
+    with _term_context("dense_sparse"):
         dense_sparse = est_sub_join_size(
             f_skim.dense_values, f_skim.dense_frequencies, g_skimmed
         )
-    with _METRICS.timer(
-        "estimate.term.sparse_dense.seconds"
-    ) if _METRICS.enabled else nullcontext():
+    with _term_context("sparse_dense"):
         sparse_dense = est_sub_join_size(
             g_skim.dense_values, g_skim.dense_frequencies, f_skimmed
         )
-    with _METRICS.timer(
-        "estimate.term.sparse_sparse.seconds"
-    ) if _METRICS.enabled else nullcontext():
+    with _term_context("sparse_sparse"):
         sparse_sparse = f_skimmed.est_join_size(g_skimmed)
     if _METRICS.enabled:
         _METRICS.count("estimate.joins")

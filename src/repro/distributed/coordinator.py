@@ -12,10 +12,12 @@ using synopses in the paper's network-monitoring setting.
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import nullcontext
 
 from ..core.estimator import SkimmedSketch, SkimmedSketchSchema
 from ..errors import IncompatibleSketchError, QueryError
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from .protocol import ProtocolError, RoundSummary, SketchReport
 
 
@@ -47,11 +49,22 @@ class SketchCoordinator:
 
     def receive(self, report: SketchReport) -> None:
         """Absorb one site report (validating schema and round ordering)."""
+        with _TRACER.span(
+            "dist.receive",
+            site=report.site,
+            stream=report.stream,
+            round=report.round_number,
+        ) if _TRACER.enabled else nullcontext() as span:
+            self._receive(report, span)
+
+    def _receive(self, report: SketchReport, span) -> None:
         key = (report.site, report.stream)
         last = self._last_round.get(key, 0)
         if report.round_number <= last:
             if _METRICS.enabled:
                 _METRICS.count("dist.reports.rejected")
+            if span is not None:
+                span.set(rejected="stale")
             raise ProtocolError(
                 f"stale report: {key} round {report.round_number} "
                 f"(already at {last})"
@@ -62,6 +75,8 @@ class SketchCoordinator:
         ):
             if _METRICS.enabled:
                 _METRICS.count("dist.reports.rejected")
+            if span is not None:
+                span.set(rejected="incompatible")
             raise IncompatibleSketchError(
                 f"report from {report.site!r} carries a sketch incompatible "
                 "with the fleet schema"
@@ -75,6 +90,8 @@ class SketchCoordinator:
         size = report.size_in_bytes()
         self._bytes_received += size
         self._reports_merged += 1
+        if span is not None:
+            span.set(bytes=size)
         if _METRICS.enabled:
             _METRICS.count("dist.reports.received")
             _METRICS.count("dist.bytes.received", size)
@@ -83,8 +100,11 @@ class SketchCoordinator:
 
     def receive_all(self, reports: list[SketchReport]) -> RoundSummary:
         """Absorb a batch of reports and summarise the round."""
-        for report in reports:
-            self.receive(report)
+        with _TRACER.span(
+            "dist.merge_round", reports=len(reports)
+        ) if _TRACER.enabled else nullcontext():
+            for report in reports:
+                self.receive(report)
         round_number = max((r.round_number for r in reports), default=0)
         return RoundSummary(
             round_number=round_number,

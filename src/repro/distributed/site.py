@@ -16,9 +16,12 @@ messages when a reporting round closes.  Two reporting modes:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from ..core.estimator import SkimmedSketchSchema
 from ..errors import ParameterError, QueryError
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from .protocol import SketchReport
 
 #: Supported reporting modes.
@@ -98,14 +101,22 @@ class SketchSite:
         next round reports only new traffic.
         """
         self._round += 1
-        reports = [
-            SketchReport.from_sketch(self.name, stream, self._round, sketch)
-            for stream, sketch in self._sketches.items()
-        ]
-        if self.mode == "delta":
-            self._sketches = {
-                stream: self.schema.create_sketch() for stream in self._sketches
-            }
+        with _TRACER.span(
+            "dist.round", site=self.name, round=self._round, mode=self.mode
+        ) if _TRACER.enabled else nullcontext() as sp:
+            reports = [
+                SketchReport.from_sketch(self.name, stream, self._round, sketch)
+                for stream, sketch in self._sketches.items()
+            ]
+            if self.mode == "delta":
+                self._sketches = {
+                    stream: self.schema.create_sketch() for stream in self._sketches
+                }
+            if sp is not None:
+                sp.set(
+                    reports=len(reports),
+                    bytes=sum(r.size_in_bytes() for r in reports),
+                )
         if _METRICS.enabled:
             _METRICS.count("dist.rounds.closed")
             _METRICS.count("dist.reports.sent", len(reports))

@@ -8,13 +8,16 @@ Usage::
     python -m repro.eval census --trials 5
     python -m repro.eval example1 dyadic-cost baseline-panel
     python -m repro.eval smoke --metrics-out metrics.json
+    python -m repro.eval smoke --trace-out trace.jsonl
 
 Each experiment prints the same table its ``benchmarks/`` counterpart
 emits; ``--full-scale`` switches the workload sizes exactly like setting
 ``REPRO_FULL_SCALE=1``.  ``--metrics-out PATH`` enables the
 :mod:`repro.obs` instrumentation for the run and writes the metrics
-snapshot to ``PATH`` as JSON (see docs/OBSERVABILITY.md).  See DESIGN.md
-for the experiment index.
+snapshot to ``PATH`` as JSON; ``--trace-out PATH`` enables the
+:mod:`repro.trace` span tracer and writes the trace as JSONL (convert it
+with ``python -m repro.trace convert``).  See docs/OBSERVABILITY.md and
+DESIGN.md for the catalogue and experiment index.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import sys
 from typing import Callable
 
 from ..obs import METRICS, write_snapshot
+from ..trace import TRACER, write_trace_jsonl
 
 from .figures import (
     ExperimentScale,
@@ -161,6 +165,13 @@ def main(argv: list[str] | None = None) -> int:
         help="enable repro.obs instrumentation and write the metrics "
         "snapshot to PATH as JSON",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="enable repro.trace span tracing and write the trace to "
+        "PATH as JSONL",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -173,16 +184,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s) {unknown}; try 'list'")
 
     scale = full_scale() if args.full_scale else default_scale()
+    # Fail fast on unwritable paths: outputs are written *after* the
+    # experiments, and losing a long run to a typo would sting.
+    for flag, path in (("--metrics-out", args.metrics_out), ("--trace-out", args.trace_out)):
+        if path:
+            try:
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write {flag} path: {exc}")
     if args.metrics_out:
-        # Fail fast on an unwritable path: the snapshot is written *after*
-        # the experiments, and losing a long run to a typo would sting.
-        try:
-            with open(args.metrics_out, "a", encoding="utf-8"):
-                pass
-        except OSError as exc:
-            parser.error(f"cannot write --metrics-out path: {exc}")
         METRICS.reset()
         METRICS.enable()
+    if args.trace_out:
+        TRACER.reset()
+        TRACER.enable()
     try:
         for name in args.experiments:
             # Timer powers the printed wall-clock line even with telemetry
@@ -197,9 +213,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics_out:
             write_snapshot(args.metrics_out, METRICS.snapshot())
             print(f"[metrics snapshot written to {args.metrics_out}]")
+        if args.trace_out:
+            write_trace_jsonl(args.trace_out, TRACER.snapshot())
+            print(f"[trace written to {args.trace_out}]")
     finally:
         if args.metrics_out:
             METRICS.disable()
+        if args.trace_out:
+            TRACER.disable()
     return 0
 
 

@@ -37,6 +37,8 @@ from typing import Iterator
 
 from .export import (
     SNAPSHOT_VERSION,
+    diff_snapshots,
+    render_diff,
     snapshot_from_json,
     snapshot_to_json,
     snapshot_to_prometheus,
@@ -102,8 +104,10 @@ __all__ = [
     "Timer",
     "capturing",
     "disable",
+    "diff_snapshots",
     "enable",
     "is_enabled",
+    "render_diff",
     "reset",
     "snapshot",
     "snapshot_from_json",

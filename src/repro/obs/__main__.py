@@ -1,13 +1,18 @@
-"""Validate a metrics snapshot file against the schema.
+"""Validate or diff metrics snapshot files.
 
-Usage::
+Validate (what ``make metrics-smoke`` runs after a ``--metrics-out``
+benchmark)::
 
     python -m repro.obs snapshot.json [required-metric ...]
 
 Exits non-zero if the file is not a valid version-1 snapshot or if any of
 the listed metric names is absent (counters, gauges and histograms are
-all searched).  This is what ``make metrics-smoke`` runs after a
-``--metrics-out`` benchmark.
+all searched).
+
+Diff two snapshots (counters subtracted, gauges before/after, histogram
+activity deltas plus side-by-side distributions)::
+
+    python -m repro.obs diff before.json after.json [--json]
 """
 
 from __future__ import annotations
@@ -15,22 +20,50 @@ from __future__ import annotations
 import json
 import sys
 
-from .export import validate_snapshot
+from .export import diff_snapshots, render_diff, snapshot_to_json, validate_snapshot
+
+_USAGE = (
+    "usage: python -m repro.obs snapshot.json [required-metric ...]\n"
+    "       python -m repro.obs diff before.json after.json [--json]"
+)
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return validate_snapshot(json.load(fh))
+
+
+def _diff_main(argv: list[str]) -> int:
+    as_json = "--json" in argv
+    paths = [a for a in argv if a != "--json"]
+    if len(paths) != 2:
+        print(_USAGE, file=sys.stderr)
+        return 2
+    try:
+        old, new = _load(paths[0]), _load(paths[1])
+    except (OSError, ValueError) as exc:
+        print(f"invalid snapshot: {exc}", file=sys.stderr)
+        return 1
+    diff = diff_snapshots(old, new)
+    if as_json:
+        print(snapshot_to_json(diff))
+    else:
+        print(f"diff: {paths[0]} -> {paths[1]}")
+        print(render_diff(diff))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
-        print(
-            "usage: python -m repro.obs snapshot.json [required-metric ...]",
-            file=sys.stderr,
-        )
+        print(_USAGE, file=sys.stderr)
         return 2
+    if argv[0] == "diff":
+        return _diff_main(argv[1:])
     path, required = argv[0], argv[1:]
     try:
-        with open(path, encoding="utf-8") as fh:
-            snapshot = validate_snapshot(json.load(fh))
+        snapshot = _load(path)
     except (OSError, ValueError) as exc:
         print(f"invalid snapshot {path}: {exc}", file=sys.stderr)
         return 1

@@ -125,19 +125,35 @@ def _prom_value(value: float) -> str:
 
 
 def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
-    """Render a snapshot in the Prometheus text exposition format."""
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Raises ``ValueError`` if two metric names sanitise to the same
+    exposition family (e.g. ``a.b`` and ``a_b``) — silently emitting a
+    duplicated ``# TYPE`` family is invalid exposition text.
+    """
     validate_snapshot(snapshot)
     lines: list[str] = []
+    families: dict[str, str] = {}
+
+    def _family(full: str, source: str) -> str:
+        if full in families:
+            raise ValueError(
+                f"metric names {families[full]!r} and {source!r} both "
+                f"sanitise to exposition family {full!r}"
+            )
+        families[full] = source
+        return full
+
     for name, value in snapshot["counters"].items():
-        full = f"{prefix}_{_prom_name(name)}_total"
+        full = _family(f"{prefix}_{_prom_name(name)}_total", name)
         lines.append(f"# TYPE {full} counter")
         lines.append(f"{full} {_prom_value(_definite(value))}")
     for name, value in snapshot["gauges"].items():
-        full = f"{prefix}_{_prom_name(name)}"
+        full = _family(f"{prefix}_{_prom_name(name)}", name)
         lines.append(f"# TYPE {full} gauge")
         lines.append(f"{full} {_prom_value(_definite(value))}")
     for name, summary in snapshot["histograms"].items():
-        full = f"{prefix}_{_prom_name(name)}"
+        full = _family(f"{prefix}_{_prom_name(name)}", name)
         lines.append(f"# TYPE {full} summary")
         for quantile, field in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
             lines.append(
@@ -147,6 +163,100 @@ def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         lines.append(f"{full}_sum {_prom_value(_definite(summary['sum']))}")
         lines.append(f"{full}_count {int(_definite(summary['count']))}")
     return "\n".join(lines) + "\n"
+
+
+def diff_snapshots(old: dict, new: dict) -> dict:
+    """Delta of two snapshots (``new`` relative to ``old``).
+
+    Counters are *subtracted* (a metric absent from one side counts as
+    zero, so freshly appearing counters show their full value and
+    vanished ones go negative — both worth seeing in a diff).  Gauges
+    report old/new/delta of their level.  Histograms are merged-compared:
+    the event ``count`` and ``sum`` deltas say how much *new* activity
+    happened between the snapshots, while the distribution fields
+    (mean/p50/p95/p99) are shown side by side — summaries are not
+    subtractable, so the comparison is the honest operation.
+    """
+    old = validate_snapshot(old)
+    new = validate_snapshot(new)
+    out: dict = {
+        "version": SNAPSHOT_VERSION,
+        "kind": "repro.obs-diff",
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for name in sorted(set(old["counters"]) | set(new["counters"])):
+        before = _definite(old["counters"].get(name, 0.0))
+        after = _definite(new["counters"].get(name, 0.0))
+        out["counters"][name] = {
+            "old": before,
+            "new": after,
+            "delta": after - before,
+        }
+    for name in sorted(set(old["gauges"]) | set(new["gauges"])):
+        entry: dict = {}
+        if name in old["gauges"]:
+            entry["old"] = _definite(old["gauges"][name])
+        if name in new["gauges"]:
+            entry["new"] = _definite(new["gauges"][name])
+        if "old" in entry and "new" in entry:
+            entry["delta"] = entry["new"] - entry["old"]
+        out["gauges"][name] = entry
+    for name in sorted(set(old["histograms"]) | set(new["histograms"])):
+        entry = {}
+        before_h = old["histograms"].get(name)
+        after_h = new["histograms"].get(name)
+        if before_h is not None and after_h is not None:
+            entry["count_delta"] = int(
+                _definite(after_h["count"]) - _definite(before_h["count"])
+            )
+            entry["sum_delta"] = _definite(after_h["sum"]) - _definite(
+                before_h["sum"]
+            )
+        for field in ("mean", "p50", "p95", "p99"):
+            entry[field] = {
+                "old": _definite(before_h[field]) if before_h else None,
+                "new": _definite(after_h[field]) if after_h else None,
+            }
+        out["histograms"][name] = entry
+    return out
+
+
+def render_diff(diff: dict) -> str:
+    """Human-readable rendering of a :func:`diff_snapshots` result."""
+    lines: list[str] = []
+    if diff["counters"]:
+        lines.append("counters:")
+        for name, entry in diff["counters"].items():
+            lines.append(
+                f"  {name}: {entry['old']:g} -> {entry['new']:g} "
+                f"({entry['delta']:+g})"
+            )
+    if diff["gauges"]:
+        lines.append("gauges:")
+        for name, entry in diff["gauges"].items():
+            old_s = f"{entry['old']:g}" if "old" in entry else "-"
+            new_s = f"{entry['new']:g}" if "new" in entry else "-"
+            delta_s = f" ({entry['delta']:+g})" if "delta" in entry else ""
+            lines.append(f"  {name}: {old_s} -> {new_s}{delta_s}")
+    if diff["histograms"]:
+        lines.append("histograms:")
+        for name, entry in diff["histograms"].items():
+            lines.append(f"  {name}:")
+            if "count_delta" in entry:
+                lines.append(
+                    f"    events: {entry['count_delta']:+d}, "
+                    f"sum: {entry['sum_delta']:+g}"
+                )
+            for field in ("mean", "p50", "p95", "p99"):
+                old_v, new_v = entry[field]["old"], entry[field]["new"]
+                old_s = f"{old_v:g}" if old_v is not None else "-"
+                new_s = f"{new_v:g}" if new_v is not None else "-"
+                lines.append(f"    {field}: {old_s} -> {new_s}")
+    if not lines:
+        lines.append("(both snapshots empty)")
+    return "\n".join(lines)
 
 
 def write_snapshot(path: str, snapshot: dict) -> None:

@@ -21,12 +21,14 @@ The hierarchy stops at a coarsest level with at most
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import IncompatibleSketchError, ParameterError
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from .base import StreamSynopsis
 from .hash_sketch import HashSketch, HashSketchSchema
 
@@ -200,11 +202,16 @@ class DyadicHashSketch(StreamSynopsis):
                 return candidates
             if _METRICS.enabled:
                 _METRICS.count("skim.dyadic.probes", int(candidates.size))
-            estimates = self._levels[level].point_estimates(candidates)
-            candidates = candidates[estimates >= threshold]
-            if level > 0:
-                candidates = np.repeat(candidates * 2, 2)
-                candidates[1::2] += 1
+            with _TRACER.span(
+                "skim.dyadic.level", level=level, candidates=int(candidates.size)
+            ) if _TRACER.enabled else nullcontext() as sp:
+                estimates = self._levels[level].point_estimates(candidates)
+                candidates = candidates[estimates >= threshold]
+                if sp is not None:
+                    sp.set(survivors=int(candidates.size))
+                if level > 0:
+                    candidates = np.repeat(candidates * 2, 2)
+                    candidates[1::2] += 1
         return np.sort(candidates)
 
     def range_estimate(self, low: int, high: int) -> float:

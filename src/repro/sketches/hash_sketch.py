@@ -30,6 +30,7 @@ Estimators provided here:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -37,6 +38,7 @@ import numpy as np
 from ..errors import DomainError, IncompatibleSketchError, ParameterError
 from ..hashing import FourWiseSignFamily, PairwiseBucketHash
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from .base import StreamSynopsis
 
 if TYPE_CHECKING:  # type-only: repro.streams imports repro.sketches at runtime
@@ -163,6 +165,8 @@ class HashSketch(StreamSynopsis):
             _METRICS.count("sketch.update.elements")
             if weight < 0:
                 _METRICS.count("sketch.update.deletions")
+        if _TRACER.enabled:
+            _TRACER.instant("sketch.update", tables=self._schema.depth)
 
     def update_bulk(self, values: np.ndarray, weights: np.ndarray | None = None) -> None:
         values = np.asarray(values, dtype=np.int64)
@@ -176,8 +180,11 @@ class HashSketch(StreamSynopsis):
             weights = np.asarray(weights, dtype=np.float64)
             if weights.shape != values.shape:
                 raise ParameterError("weights must have the same shape as values")
-        self._apply_point_masses(values, weights)
-        self._absolute_mass += float(np.abs(weights).sum())
+        with _TRACER.span(
+            "sketch.update_bulk", elements=int(values.size)
+        ) if _TRACER.enabled else nullcontext():
+            self._apply_point_masses(values, weights)
+            self._absolute_mass += float(np.abs(weights).sum())
         if _METRICS.enabled:
             _METRICS.count("sketch.update.elements", int(values.size))
             _METRICS.count("sketch.update.batches")
@@ -236,7 +243,13 @@ class HashSketch(StreamSynopsis):
 
     def est_join_size(self, other: "HashSketch") -> float:
         """Median-boosted binary-join size estimate from two hash sketches."""
-        return float(np.median(self.table_join_estimates(other)))
+        with _TRACER.span(
+            "estimate.median_boost", tables=self._schema.depth
+        ) if _TRACER.enabled else nullcontext() as sp:
+            estimate = float(np.median(self.table_join_estimates(other)))
+            if sp is not None:
+                sp.set(median=estimate)
+        return estimate
 
     def est_self_join_size(self) -> float:
         """Second-moment estimate ``median_i sum_b C[i, b]^2``."""

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import ParameterError, QueryError
 from ..obs import METRICS as _METRICS
+from ..trace import TRACER as _TRACER
 from ..sketches.agms import AGMSSchema, AGMSSketch
 from ..sketches.hash_sketch import HashSketch, HashSketchSchema
 from ..streams.model import Update
@@ -167,7 +168,10 @@ class StreamEngine:
                 _METRICS.count("engine.elements.seen")
                 _METRICS.count("engine.elements.dropped")
             return
-        registered.synopsis.update(value, weight)
+        with _TRACER.span(
+            "engine.ingest", stream=stream, elements=1
+        ) if _TRACER.enabled else nullcontext():
+            registered.synopsis.update(value, weight)
         if _METRICS.enabled:
             _METRICS.count("engine.elements.seen")
             _METRICS.count(f"engine.stream.{stream}.elements")
@@ -198,7 +202,13 @@ class StreamEngine:
         if not kept:
             return
         kept_weights = None if weights is None else np.asarray(weights)[keep]
-        registered.synopsis.update_bulk(values[keep], kept_weights)
+        with _TRACER.span(
+            "engine.ingest",
+            stream=stream,
+            elements=int(values.size),
+            kept=kept,
+        ) if _TRACER.enabled else nullcontext():
+            registered.synopsis.update_bulk(values[keep], kept_weights)
 
     def stream_stats(self, stream: str) -> tuple[int, int]:
         """``(elements_seen, elements_dropped_by_predicate)`` for a stream."""
@@ -253,13 +263,16 @@ class StreamEngine:
         with _METRICS.timer(
             "engine.sql.seconds"
         ) if _METRICS.enabled else nullcontext():
-            parsed = parse_query(text)
-            if parsed.predicates:
-                raise QueryError(
-                    "this query has WHERE predicates; set it up with "
-                    "prepare_sql() before ingesting elements"
-                )
-            return self.answer(parsed.query)
+            with _TRACER.span(
+                "engine.sql", sql=text.strip()
+            ) if _TRACER.enabled else nullcontext():
+                parsed = parse_query(text)
+                if parsed.predicates:
+                    raise QueryError(
+                        "this query has WHERE predicates; set it up with "
+                        "prepare_sql() before ingesting elements"
+                    )
+                return self.answer(parsed.query)
 
     @staticmethod
     def _streams_named_by(query: Query) -> tuple[str, ...]:
@@ -280,9 +293,16 @@ class StreamEngine:
         if _METRICS.enabled:
             _METRICS.count("engine.queries")
             _METRICS.count(f"engine.queries.{type(query).__name__}")
-            with _METRICS.timer("engine.answer.seconds"):
-                return self._answer(query)
-        return self._answer(query)
+        with _METRICS.timer(
+            "engine.answer.seconds"
+        ) if _METRICS.enabled else nullcontext():
+            with _TRACER.span(
+                "engine.answer", query=type(query).__name__
+            ) if _TRACER.enabled else nullcontext() as sp:
+                result = self._answer(query)
+                if sp is not None:
+                    sp.set(estimate=result)
+        return result
 
     def _answer(self, query: Query) -> float:
         if isinstance(query, JoinCountQuery):

@@ -1,0 +1,75 @@
+"""Trace-file toolbox.
+
+Usage::
+
+    python -m repro.trace validate  trace.jsonl
+    python -m repro.trace convert   trace.jsonl trace.json   # Perfetto
+    python -m repro.trace summarize trace.jsonl
+
+``validate`` exits non-zero unless the file is a structurally valid
+version-1 JSONL trace; ``convert`` writes the Chrome ``trace_event``
+JSON that https://ui.perfetto.dev and ``chrome://tracing`` load
+directly; ``summarize`` prints per-span-name aggregate timings (the
+trace-plane analogue of a metrics snapshot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import (
+    read_trace_jsonl,
+    render_summary,
+    summarize_trace,
+    write_trace_chrome,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Validate, convert and summarize repro.trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="schema-check a JSONL trace")
+    p_validate.add_argument("trace", help="JSONL trace file")
+
+    p_convert = sub.add_parser(
+        "convert", help="convert a JSONL trace to Chrome/Perfetto trace_event JSON"
+    )
+    p_convert.add_argument("trace", help="JSONL trace file")
+    p_convert.add_argument("out", help="output path for the trace_event JSON")
+
+    p_summarize = sub.add_parser(
+        "summarize", help="per-span-name aggregate timings of a JSONL trace"
+    )
+    p_summarize.add_argument("trace", help="JSONL trace file")
+
+    args = parser.parse_args(argv)
+    try:
+        snapshot = read_trace_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"invalid trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.command == "validate":
+        print(f"ok: {args.trace} ({len(snapshot['spans'])} spans)")
+        return 0
+    if args.command == "convert":
+        try:
+            write_trace_chrome(args.out, snapshot)
+        except OSError as exc:
+            print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out} ({len(snapshot['spans'])} events); "
+              "load it at https://ui.perfetto.dev")
+        return 0
+    print(render_summary(summarize_trace(snapshot)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

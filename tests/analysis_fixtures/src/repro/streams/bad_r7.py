@@ -1,0 +1,10 @@
+"""R7 fixture: spans recorded without the enabled-flag guard."""
+
+from ..trace import TRACER as _TRACER
+
+
+def ingest(engine, value):
+    engine.update(value)
+    _TRACER.instant("engine.ingest", elements=1)  # R7: no guard
+    with _TRACER.span("engine.flush"):  # R7: unguarded span
+        engine.flush()

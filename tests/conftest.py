@@ -13,6 +13,7 @@ import pytest
 from repro.obs import METRICS
 from repro.streams.generators import shifted_zipf_pair, zipf_frequencies
 from repro.streams.model import FrequencyVector
+from repro.trace import TRACER
 
 SMALL_DOMAIN = 256
 MEDIUM_DOMAIN = 4096
@@ -20,12 +21,17 @@ MEDIUM_DOMAIN = 4096
 
 @pytest.fixture(autouse=True)
 def _obs_isolation():
-    """Keep the global metrics registry disabled and empty between tests."""
+    """Keep the global metrics registry and tracer disabled and empty
+    between tests."""
     METRICS.disable()
     METRICS.reset()
+    TRACER.disable()
+    TRACER.reset()
     yield
     METRICS.disable()
     METRICS.reset()
+    TRACER.disable()
+    TRACER.reset()
 
 
 @pytest.fixture

@@ -29,7 +29,7 @@ from repro.analysis.engine import iter_python_files
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
-RULE_IDS = ["R1", "R2", "R3", "R4", "R5", "R6"]
+RULE_IDS = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
 
 #: rule id -> (bad fixture, expected finding count, good fixture)
 FIXTURE_MAP = {
@@ -39,6 +39,7 @@ FIXTURE_MAP = {
     "R4": ("src/repro/streams/bad_r4.py", 2, "src/repro/streams/good_r4.py"),
     "R5": ("src/repro/streams/bad_r5.py", 2, "src/repro/streams/good_r5.py"),
     "R6": ("src/repro/streams/bad_r6.py", 3, "src/repro/streams/good_r6.py"),
+    "R7": ("src/repro/streams/bad_r7.py", 2, "src/repro/streams/good_r7.py"),
 }
 
 
@@ -54,7 +55,7 @@ def run_cli(*argv: str) -> subprocess.CompletedProcess:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert [r.rule_id for r in all_rules()] == RULE_IDS
 
     def test_rules_have_titles_and_docstrings(self):

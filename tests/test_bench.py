@@ -1,0 +1,255 @@
+"""Tests for the ``repro.bench`` performance-trajectory harness."""
+
+from __future__ import annotations
+
+import copy
+import pathlib
+
+import pytest
+
+from repro.bench import (
+    BENCH_VERSION,
+    SCENARIOS,
+    compare_bench,
+    read_bench,
+    record_key,
+    run_scenario,
+    run_suite,
+    scenarios_for,
+    suite_names,
+    validate_bench,
+    write_bench,
+)
+from repro.bench.__main__ import main as bench_main
+
+_BASELINE = str(
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "baselines"
+    / "BENCH_baseline.json"
+)
+
+
+def _doc(records=None, revision="abc1234", suite="smoke") -> dict:
+    if records is None:
+        records = [_record()]
+    return {
+        "version": BENCH_VERSION,
+        "kind": "repro.bench",
+        "suite": suite,
+        "revision": revision,
+        "records": records,
+    }
+
+
+def _record(
+    scenario="update.hash",
+    params=None,
+    median=0.010,
+    relative_error=0.05,
+    sketch_bytes=1024,
+) -> dict:
+    return {
+        "scenario": scenario,
+        "params": dict(params or {"n": 1000}),
+        "wall_clock": {"median": median, "iqr": 0.001, "repeats": 5},
+        "updates_per_sec": 1000 / median,
+        "relative_error": relative_error,
+        "sketch_bytes": sketch_bytes,
+    }
+
+
+class TestSchema:
+    def test_valid_document_passes(self):
+        doc = _doc()
+        assert validate_bench(doc) is doc
+
+    def test_null_optional_metrics_are_valid(self):
+        record = _record()
+        record["relative_error"] = None
+        record["sketch_bytes"] = None
+        record["updates_per_sec"] = None
+        validate_bench(_doc([record]))
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.update(version=99), "version"),
+            (lambda d: d.update(kind="nope"), "kind"),
+            (lambda d: d.update(revision=""), "revision"),
+            (lambda d: d.update(records=[]), "records"),
+            (lambda d: d["records"][0].pop("scenario"), "scenario"),
+            (lambda d: d["records"][0].update(params=[]), "params"),
+            (lambda d: d["records"][0]["wall_clock"].pop("median"), "median"),
+            (
+                lambda d: d["records"][0]["wall_clock"].update(median=-1),
+                "median",
+            ),
+            (lambda d: d["records"][0].pop("relative_error"), "relative_error"),
+            (
+                lambda d: d["records"][0].update(sketch_bytes="big"),
+                "sketch_bytes",
+            ),
+        ],
+    )
+    def test_malformed_documents_rejected(self, mutate, message):
+        doc = _doc()
+        mutate(doc)
+        with pytest.raises(ValueError, match=message):
+            validate_bench(doc)
+
+    def test_duplicate_record_keys_rejected(self):
+        doc = _doc([_record(), _record()])
+        with pytest.raises(ValueError, match="duplicates"):
+            validate_bench(doc)
+
+    def test_record_key_canonicalises_param_order(self):
+        a = _record(params={"n": 1, "width": 2})
+        b = _record(params={"width": 2, "n": 1})
+        assert record_key(a) == record_key(b)
+        assert record_key(a) != record_key(_record(params={"n": 2, "width": 2}))
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        doc = _doc()
+        write_bench(str(path), doc)
+        assert read_bench(str(path)) == doc
+
+    def test_write_refuses_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench(str(tmp_path / "bad.json"), {"version": 99})
+
+
+class TestCompare:
+    def test_identical_documents_have_no_regressions(self):
+        base = _doc()
+        rows, regressions = compare_bench(base, copy.deepcopy(base))
+        assert regressions == []
+        (row,) = rows
+        assert row["status"] == "matched"
+        assert row["wall_clock"]["ratio"] == pytest.approx(1.0)
+
+    def test_slowdown_flagged_and_gateable(self):
+        base = _doc([_record(median=0.010)])
+        cur = _doc([_record(median=0.050)])
+        _, regressions = compare_bench(base, cur, max_slowdown=2.0)
+        assert len(regressions) == 1 and "wall-clock" in regressions[0]
+        # max_slowdown <= 0 disables the timing gate (cross-machine CI).
+        _, regressions = compare_bench(base, cur, max_slowdown=0)
+        assert regressions == []
+
+    def test_error_growth_flagged(self):
+        base = _doc([_record(relative_error=0.05)])
+        cur = _doc([_record(relative_error=0.20)])
+        _, regressions = compare_bench(base, cur, max_slowdown=0)
+        assert len(regressions) == 1 and "relative error" in regressions[0]
+        _, ok = compare_bench(base, cur, max_slowdown=0, max_error_increase=0.5)
+        assert ok == []
+
+    def test_bytes_growth_flagged(self):
+        base = _doc([_record(sketch_bytes=1000)])
+        cur = _doc([_record(sketch_bytes=1200)])
+        _, regressions = compare_bench(base, cur, max_slowdown=0)
+        assert len(regressions) == 1 and "bytes" in regressions[0]
+
+    def test_removed_scenario_is_a_regression_added_is_not(self):
+        base = _doc([_record(), _record(scenario="skim.flat")])
+        cur = _doc([_record(), _record(scenario="join.skimmed")])
+        rows, regressions = compare_bench(base, cur, max_slowdown=0)
+        statuses = {row["key"].split("::")[0]: row["status"] for row in rows}
+        assert statuses["skim.flat"] == "removed"
+        assert statuses["join.skimmed"] == "added"
+        assert len(regressions) == 1 and "disappeared" in regressions[0]
+
+
+class TestRunner:
+    def test_registry_suites(self):
+        assert set(suite_names()) == {"smoke", "full"}
+        assert scenarios_for("smoke")
+        names = {s.name for s in SCENARIOS}
+        assert {
+            "update.hash",
+            "update.agms",
+            "skim.flat",
+            "skim.dyadic",
+            "join.skimmed",
+            "join.agms",
+            "join.hash",
+        } <= names
+
+    def test_run_scenario_produces_valid_record(self):
+        scenario = next(s for s in SCENARIOS if s.name == "update.hash")
+        params = dict(scenario.suites["smoke"])
+        params["n"] = 2_000  # keep the unit test cheap
+        record = run_scenario(scenario, params, repeats=2)
+        validate_bench(_doc([record]))
+        assert record["wall_clock"]["repeats"] == 2
+        assert record["updates_per_sec"] > 0
+        assert record["sketch_bytes"] > 0
+
+    def test_run_scenario_extras_are_deterministic(self):
+        scenario = next(s for s in SCENARIOS if s.name == "join.skimmed")
+        params = dict(scenario.suites["smoke"])
+        first = run_scenario(scenario, params, repeats=1)
+        second = run_scenario(scenario, params, repeats=1)
+        assert first["relative_error"] == second["relative_error"]
+        assert first["sketch_bytes"] == second["sketch_bytes"]
+
+    def test_run_suite_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite("nope")
+
+    def test_bad_repeats_rejected(self):
+        scenario = SCENARIOS[0]
+        with pytest.raises(ValueError, match="repeats"):
+            run_scenario(scenario, dict(scenario.suites["smoke"]), repeats=0)
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert bench_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for scenario in SCENARIOS:
+            assert scenario.name in out
+
+    def test_compare_exit_codes(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        slow_path = tmp_path / "slow.json"
+        write_bench(str(base_path), _doc([_record(median=0.010)]))
+        write_bench(str(slow_path), _doc([_record(median=0.100)]))
+        # Regression -> non-zero exit.
+        assert bench_main(["compare", str(base_path), str(slow_path)]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+        # Timing gate disabled -> pass.
+        assert (
+            bench_main(
+                ["compare", str(base_path), str(slow_path), "--max-slowdown", "0"]
+            )
+            == 0
+        )
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_rejects_bad_files(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        write_bench(str(good), _doc())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert bench_main(["compare", str(good), str(bad)]) == 1
+        assert bench_main(["compare", str(good), str(tmp_path / "nope.json")]) == 1
+
+    def test_committed_baseline_is_valid(self):
+        doc = read_bench(_BASELINE)
+        assert doc["suite"] == "smoke"
+        names = {r["scenario"] for r in doc["records"]}
+        assert "join.skimmed" in names
+
+    def test_baseline_tells_the_papers_story(self):
+        """The committed baseline must reproduce the headline result:
+        skimming beats basic AGMS beats unskimmed hash estimates."""
+        doc = read_bench(_BASELINE)
+        err = {
+            r["scenario"]: r["relative_error"]
+            for r in doc["records"]
+            if r["scenario"].startswith("join.")
+        }
+        assert err["join.skimmed"] < err["join.agms"] < err["join.hash"]

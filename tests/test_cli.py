@@ -82,6 +82,51 @@ class TestMetricsOut:
         assert list(METRICS.metric_names()) == []
 
 
+class TestObsDiffCLI:
+    def _write_snapshot(self, path, queries: int) -> None:
+        from repro.obs import MetricsRegistry, write_snapshot
+
+        reg = MetricsRegistry(enabled=True)
+        reg.count("engine.queries", queries)
+        reg.gauge("skim.threshold", 5.0)
+        reg.observe("engine.answer.seconds", 0.01 * queries)
+        write_snapshot(str(path), reg.snapshot())
+
+    def test_diff_reports_deltas(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        before, after = tmp_path / "before.json", tmp_path / "after.json"
+        self._write_snapshot(before, 2)
+        self._write_snapshot(after, 7)
+        assert obs_main(["diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.queries: 2 -> 7 (+5)" in out
+        assert "skim.threshold: 5 -> 5 (+0)" in out
+        assert "engine.answer.seconds" in out
+
+    def test_diff_json_output_is_machine_readable(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        before, after = tmp_path / "before.json", tmp_path / "after.json"
+        self._write_snapshot(before, 1)
+        self._write_snapshot(after, 4)
+        assert obs_main(["diff", str(before), str(after), "--json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["kind"] == "repro.obs-diff"
+        assert diff["counters"]["engine.queries"]["delta"] == 3.0
+
+    def test_diff_usage_and_error_paths(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        good = tmp_path / "good.json"
+        self._write_snapshot(good, 1)
+        assert obs_main(["diff", str(good)]) == 2  # needs two files
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert obs_main(["diff", str(good), str(bad)]) == 1
+        assert obs_main(["diff", str(good), str(tmp_path / "missing.json")]) == 1
+
+
 class TestFigureOutput:
     def test_figure5_output_includes_table_and_chart(self):
         from repro.eval.__main__ import _figure5_output

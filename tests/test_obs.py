@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -16,6 +17,8 @@ from repro.obs import (
     METRICS,
     MetricsRegistry,
     capturing,
+    diff_snapshots,
+    render_diff,
     snapshot_from_json,
     snapshot_to_json,
     snapshot_to_prometheus,
@@ -331,6 +334,138 @@ class TestExporters:
     def test_validate_accepts_registry_snapshots(self):
         snap = self._populated().snapshot()
         assert validate_snapshot(snap) is snap
+
+
+#: ``name value`` or ``name{label="x",...} value`` — the sample-line shape
+#: of the Prometheus text exposition format.
+_PROM_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?:[a-zA-Z_][a-zA-Z0-9_]*="[^"]*",?)+\})?'
+    r" (?P<value>[^ ]+)$"
+)
+
+
+class TestPrometheusExposition:
+    """Format correctness of the text exposition output."""
+
+    def _registry_with_awkward_names(self) -> MetricsRegistry:
+        reg = MetricsRegistry(enabled=True)
+        reg.count("engine.queries.PointQuery", 3)
+        reg.count("dist.bytes-received", 1024)
+        reg.gauge("skim threshold", 42.0)
+        for v in (0.5, 1.5):
+            reg.observe("estimate.term.dense_dense.seconds", v)
+        return reg
+
+    def test_names_are_sanitised(self):
+        text = snapshot_to_prometheus(self._registry_with_awkward_names().snapshot())
+        assert "repro_engine_queries_PointQuery_total" in text
+        assert "repro_dist_bytes_received_total" in text
+        assert "repro_skim_threshold" in text
+        for line in text.splitlines():
+            name = line.split()[1 if line.startswith("#") else 0].split("{")[0]
+            assert all(c.isalnum() or c == "_" for c in name), line
+
+    def test_exactly_one_type_line_per_family(self):
+        text = snapshot_to_prometheus(self._registry_with_awkward_names().snapshot())
+        families = [
+            line.split()[2] for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert len(families) == len(set(families))
+        # One family per metric: 2 counters + 1 gauge + 1 summary.
+        assert len(families) == 4
+
+    def test_family_collision_is_an_error(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.count("a.b", 1)
+        reg.count("a_b", 2)  # sanitises to the same family
+        with pytest.raises(ValueError, match="sanitise"):
+            snapshot_to_prometheus(reg.snapshot())
+
+    def test_sample_lines_parse_and_round_trip(self):
+        snap = self._registry_with_awkward_names().snapshot()
+        text = snapshot_to_prometheus(snap)
+        samples: dict[str, float] = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            match = _PROM_SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            key = line.rsplit(" ", 1)[0]
+            samples[key] = float(match.group("value"))
+        # Values survive the render: counters, gauges, summary components.
+        assert samples["repro_engine_queries_PointQuery_total"] == 3.0
+        assert samples["repro_skim_threshold"] == 42.0
+        assert samples["repro_estimate_term_dense_dense_seconds_count"] == 2.0
+        assert samples["repro_estimate_term_dense_dense_seconds_sum"] == 2.0
+        assert (
+            samples['repro_estimate_term_dense_dense_seconds{quantile="0.5"}'] == 0.5
+        )
+
+    def test_nonfinite_values_use_prometheus_literals(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", float("inf"))
+        text = snapshot_to_prometheus(reg.snapshot())
+        assert "repro_g +Inf" in text
+
+
+class TestDiffSnapshots:
+    def _snap(self, n: int) -> dict:
+        reg = MetricsRegistry(enabled=True)
+        reg.count("engine.queries", n)
+        reg.gauge("skim.threshold", 10.0 * n)
+        for v in range(n):
+            reg.observe("engine.answer.seconds", 0.001 * (v + 1))
+        return reg.snapshot()
+
+    def test_counters_subtracted(self):
+        diff = diff_snapshots(self._snap(2), self._snap(5))
+        entry = diff["counters"]["engine.queries"]
+        assert entry == {"old": 2.0, "new": 5.0, "delta": 3.0}
+
+    def test_missing_counter_treated_as_zero(self):
+        old = self._snap(1)
+        new = self._snap(1)
+        new["counters"]["skim.passes"] = 4.0
+        diff = diff_snapshots(old, new)
+        assert diff["counters"]["skim.passes"]["delta"] == 4.0
+        reverse = diff_snapshots(new, old)
+        assert reverse["counters"]["skim.passes"]["delta"] == -4.0
+
+    def test_gauges_report_levels_and_delta(self):
+        diff = diff_snapshots(self._snap(1), self._snap(3))
+        assert diff["gauges"]["skim.threshold"] == {
+            "old": 10.0,
+            "new": 30.0,
+            "delta": 20.0,
+        }
+
+    def test_histograms_merged_compared(self):
+        diff = diff_snapshots(self._snap(2), self._snap(4))
+        entry = diff["histograms"]["engine.answer.seconds"]
+        assert entry["count_delta"] == 2
+        assert entry["sum_delta"] == pytest.approx(0.01 - 0.003)
+        assert entry["p50"]["old"] == pytest.approx(0.001)
+        assert entry["p50"]["new"] == pytest.approx(0.003)
+
+    def test_histogram_only_on_one_side(self):
+        old = self._snap(1)
+        new = self._snap(1)
+        del old["histograms"]["engine.answer.seconds"]
+        diff = diff_snapshots(old, new)
+        entry = diff["histograms"]["engine.answer.seconds"]
+        assert "count_delta" not in entry
+        assert entry["mean"]["old"] is None
+        assert entry["mean"]["new"] is not None
+
+    def test_render_diff_is_readable(self):
+        text = render_diff(diff_snapshots(self._snap(1), self._snap(2)))
+        assert "engine.queries: 1 -> 2 (+1)" in text
+        assert "histograms:" in text
+
+    def test_diff_validates_inputs(self):
+        with pytest.raises(ValueError):
+            diff_snapshots({}, self._snap(1))
 
 
 class TestImportCost:

@@ -1,0 +1,91 @@
+"""Guard against the tracer slowing the update hot path.
+
+Same contract (and same bound pattern) as ``test_obs_overhead.py``: every
+trace hook in :meth:`HashSketch.update_bulk` is one ``TRACER.enabled``
+attribute read and one branch per *batch* when disabled, so a
+100k-element bulk update must run within a small factor of the
+uninstrumented kernel.  A regression here means a span was opened
+unconditionally, or per-element Python work crept onto the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.trace import TRACER
+
+N_ELEMENTS = 100_000
+REPEATS = 5
+# Same budget as the obs overhead test: update_bulk's own validation plus
+# generous CI timing noise, while still catching any per-element loop.
+MAX_FACTOR = 3.0
+SLACK_SECONDS = 0.005
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracer_adds_no_measurable_hot_path_cost(rng):
+    assert not TRACER.enabled  # the conftest fixture guarantees this
+    schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
+    values = rng.integers(0, 1 << 16, size=N_ELEMENTS).astype(np.int64)
+    weights = np.ones(N_ELEMENTS)
+
+    kernel_sketch = schema.create_sketch()
+
+    def kernel():
+        kernel_sketch._apply_point_masses(values, weights)  # noqa: SLF001
+        kernel_sketch._absolute_mass += float(np.abs(weights).sum())  # noqa: SLF001
+
+    instrumented_sketch = schema.create_sketch()
+
+    def instrumented():
+        instrumented_sketch.update_bulk(values, weights)
+
+    # Warm both paths (hash-family caches, numpy dispatch) before timing.
+    kernel()
+    instrumented()
+    kernel_time = _best_of(REPEATS, kernel)
+    instrumented_time = _best_of(REPEATS, instrumented)
+
+    budget = kernel_time * MAX_FACTOR + SLACK_SECONDS
+    assert instrumented_time <= budget, (
+        f"update_bulk took {instrumented_time * 1e3:.2f}ms vs kernel "
+        f"{kernel_time * 1e3:.2f}ms (budget {budget * 1e3:.2f}ms) — "
+        "disabled tracing must stay one branch per batch"
+    )
+
+
+def test_enabled_tracer_overhead_is_batch_level(rng):
+    """Even *enabled*, tracing records one span per batch, not per element."""
+    schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
+    values = rng.integers(0, 1 << 16, size=N_ELEMENTS).astype(np.int64)
+
+    disabled_sketch = schema.create_sketch()
+    disabled_sketch.update_bulk(values)  # warm
+    disabled = _best_of(REPEATS, lambda: disabled_sketch.update_bulk(values))
+
+    TRACER.enable()
+    try:
+        enabled_sketch = schema.create_sketch()
+        enabled_sketch.update_bulk(values)  # warm
+        enabled = _best_of(REPEATS, lambda: enabled_sketch.update_bulk(values))
+        # One span per timed call (REPEATS + warm), never per element.
+        assert TRACER.span_count() == REPEATS + 1
+    finally:
+        TRACER.disable()
+        TRACER.reset()
+
+    assert enabled <= disabled * MAX_FACTOR + SLACK_SECONDS, (
+        f"enabled update_bulk {enabled * 1e3:.2f}ms vs disabled "
+        f"{disabled * 1e3:.2f}ms — span recording must stay per-batch"
+    )
