@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke experiments examples metrics-smoke lint check clean
+.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke lint check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,7 +22,7 @@ lint:
 	fi
 
 # Umbrella gate: everything CI runs.
-check: lint test metrics-smoke
+check: lint test metrics-smoke monitor-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -57,6 +57,19 @@ metrics-smoke:
 		sketch.update.elements skim.passes estimate.joins \
 		skim.seconds eval.experiment.seconds
 	rm -f .metrics-smoke.json
+
+# Run the audited smoke workload, then serve the resulting audit JSONL +
+# metrics snapshot over HTTP and scrape every endpoint (Prometheus
+# exposition must parse, at least one audit must round-trip); see the
+# "Estimate-quality monitoring" section of docs/OBSERVABILITY.md.
+monitor-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.eval smoke \
+		--metrics-out .monitor-smoke.metrics.json \
+		--audit-out .monitor-smoke.audits.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.monitor selfcheck \
+		--metrics .monitor-smoke.metrics.json \
+		--audits .monitor-smoke.audits.jsonl --min-audits 1
+	rm -f .monitor-smoke.metrics.json .monitor-smoke.audits.jsonl
 
 clean:
 	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks

@@ -10,6 +10,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     r5_errors,
     r6_rng,
     r7_tracing,
+    r8_audit,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "r5_errors",
     "r6_rng",
     "r7_tracing",
+    "r8_audit",
 ]

@@ -1,0 +1,119 @@
+"""R8 — audit recording must sit behind the ``AUDIT.enabled`` flag."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: The conventional names the process-wide audit log is imported under.
+AUDIT_NAME_RE = re.compile(r"^_?AUDIT$")
+
+#: AuditLog methods that record.  Administrative methods (enable/disable/
+#: reset/snapshot/audits/last/recent/write_jsonl/...) are free to call.
+RECORDING_METHODS = frozenset({"record", "annotate_last", "alert"})
+
+
+def _is_audit_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and AUDIT_NAME_RE.match(node.id) is not None
+
+
+def _mentions_enabled(test: ast.expr) -> bool:
+    """Does ``test`` read ``<AUDIT>.enabled``?"""
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "enabled"
+            and _is_audit_name(node.value)
+        ):
+            return True
+    return False
+
+
+def _is_guard_return(stmt: ast.stmt) -> bool:
+    """``if not AUDIT.enabled: return`` (early-exit guard) detection."""
+    if not isinstance(stmt, ast.If) or not _mentions_enabled(stmt.test):
+        return False
+    return any(isinstance(s, (ast.Return, ast.Raise)) for s in stmt.body)
+
+
+@register
+class GuardedAuditing(Rule):
+    """Every ``_AUDIT`` recording call must be guarded by ``.enabled``.
+
+    Estimate-quality audits are the most expensive telemetry layer in the
+    repo — recording one runs residual-norm domain scans and (through the
+    engine) whole skims.  The contract is therefore the same lexical one
+    R3 makes for ``_METRICS`` and R7 for ``_TRACER``: with auditing
+    *disabled*, a query path pays exactly one attribute read and one
+    branch.  Accepted guard shapes::
+
+        if _AUDIT.enabled:
+            _AUDIT.record(audit)
+
+        def _emit(...):
+            if not _AUDIT.enabled:
+                return          # early-exit guard; rest of body is guarded
+            _AUDIT.annotate_last(n_f=n_f)
+
+    Example violation::
+
+        _AUDIT.record(audit)       # R8 (no guard in sight)
+    """
+
+    rule_id = "R8"
+    title = "audit recording guarded by the enabled flag"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role in (Role.KERNEL, Role.LIBRARY)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(ctx.tree)), False)
+
+    def _visit_block(
+        self, ctx: FileContext, nodes: list[ast.AST], guarded: bool
+    ) -> Iterator[Finding]:
+        for node in nodes:
+            yield from self._visit(ctx, node, guarded)
+
+    def _visit(self, ctx: FileContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A guard outside the def does not guard calls made later.
+            body_guarded = False
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, body_guarded)
+                if not body_guarded and _is_guard_return(stmt):
+                    body_guarded = True
+            return
+        if isinstance(node, ast.If):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit_block(ctx, list(node.body), branch_guarded)
+            yield from self._visit_block(ctx, list(node.orelse), branch_guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit(ctx, node.body, branch_guarded)
+            yield from self._visit(ctx, node.orelse, branch_guarded)
+            return
+        if (
+            not guarded
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RECORDING_METHODS
+            and _is_audit_name(node.func.value)
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"unguarded _AUDIT.{node.func.attr}(...) — wrap in "
+                "'if _AUDIT.enabled:' so disabled auditing stays free",
+            )
+            # fall through: nested calls in arguments are reported too
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(node)), guarded)

@@ -241,6 +241,43 @@ def _run_join_skimmed(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
 
 
 @_register(
+    "join.audited",
+    "Skimmed-sketch join estimate with repro.monitor audits enabled: "
+    "measures the audited-path overhead against join.skimmed (same "
+    "workload, same estimate), including the per-query residual-norm "
+    "scans and QueryAudit recording",
+    _JOIN_SUITES,
+)
+def _run_join_audited(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..core import SkimmedSketchSchema
+    from ..monitor import AUDIT
+
+    f, g = _join_pair(params)
+    schema = SkimmedSketchSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    )
+    sf, sg = schema.sketch_of(f), schema.sketch_of(g)
+    was_enabled = AUDIT.enabled
+    AUDIT.reset()
+    AUDIT.enable()
+    try:
+        start = time.perf_counter()
+        estimate = sf.est_join_size(sg)
+        elapsed = time.perf_counter() - start
+        audit_count = len(AUDIT)
+    finally:
+        if not was_enabled:
+            AUDIT.disable()
+        AUDIT.reset()
+    if audit_count != 1:
+        raise RuntimeError(f"expected exactly 1 audit, got {audit_count}")
+    return elapsed, {
+        "relative_error": _relative_error(estimate, f.join_size(g)),
+        "sketch_bytes": sf.size_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+@_register(
     "join.agms",
     "Basic AGMS join estimate at matched counter budget (Figure 5's "
     "comparison baseline)",

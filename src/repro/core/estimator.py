@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import IncompatibleSketchError, ParameterError
+from ..monitor import AUDIT as _AUDIT
 from ..obs import METRICS as _METRICS
 from ..trace import TRACER as _TRACER
 from ..sketches.base import StreamSynopsis
@@ -221,7 +222,14 @@ class SkimmedSketch(StreamSynopsis):
             ) if _TRACER.enabled else nullcontext():
                 f_skim, f_res = self.skim(threshold)
                 g_skim, g_res = other.skim(threshold)
-                return est_skim_join_size_from_parts(f_skim, f_res, g_skim, g_res)
+                breakdown = est_skim_join_size_from_parts(f_skim, f_res, g_skim, g_res)
+        if _AUDIT.enabled:
+            _AUDIT.annotate_last(
+                n_f=float(self.absolute_mass),
+                n_g=float(other.absolute_mass),
+                dyadic=self._schema.dyadic,
+            )
+        return breakdown
 
     def est_join_size(self, other: "SkimmedSketch") -> float:
         """Skimmed-sketch estimate of ``COUNT(F join G)``."""

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ParameterError
+from ..monitor.audit import RESIDUAL_BOUND_FACTOR
 from ..obs import METRICS as _METRICS
 from ..trace import TRACER as _TRACER
 from ..sketches.dyadic import DyadicHashSketch
@@ -39,6 +40,44 @@ from ..streams.model import FrequencyVector
 
 #: Default multiplier ``c`` in ``theta = c * N / sqrt(width)``.
 DEFAULT_THRESHOLD_MULTIPLIER = 1.0
+
+__all__ = [
+    "DEFAULT_THRESHOLD_MULTIPLIER",
+    "RESIDUAL_BOUND_FACTOR",
+    "SkimResult",
+    "default_threshold",
+    "residual_bound_ok",
+    "residual_infinity_norm",
+    "skim_dense",
+    "skim_dense_dyadic",
+]
+
+
+def residual_infinity_norm(sketch: HashSketch) -> float:
+    """``‖f - fhat‖∞`` as seen by the sketch: the largest-magnitude
+    COUNTSKETCH point estimate over the whole domain.
+
+    Theorem 4's contract for SKIMDENSE is that every *residual* frequency
+    is below ``2 * theta`` w.h.p.; evaluating this norm on a skimmed
+    sketch (cost ``O(|D| * depth)``, audit-path only) checks that
+    contract a posteriori.  Returns ``0.0`` for an empty domain.
+    """
+    estimates = sketch.all_point_estimates()
+    if estimates.size == 0:
+        return 0.0
+    return float(np.abs(estimates).max())
+
+
+def residual_bound_ok(sketch: HashSketch, threshold: float) -> bool:
+    """Whether a skimmed sketch honours ``‖residual‖∞ <
+    RESIDUAL_BOUND_FACTOR * threshold`` (SKIMDENSE's Theorem-4 contract).
+
+    An infinite threshold (empty stream: nothing was dense, nothing was
+    skimmed) trivially satisfies the bound.
+    """
+    if not np.isfinite(threshold):
+        return True
+    return residual_infinity_norm(sketch) < RESIDUAL_BOUND_FACTOR * threshold
 
 
 def default_threshold(

@@ -33,11 +33,19 @@ from contextlib import ExitStack, nullcontext
 import numpy as np
 
 from ..errors import IncompatibleSketchError, ParameterError
+from ..monitor import AUDIT as _AUDIT
+from ..monitor.audit import QueryAudit, confidence_halfwidth
 from ..obs import METRICS as _METRICS
 from ..trace import TRACER as _TRACER
 from ..sketches.dyadic import DyadicHashSketch
 from ..sketches.hash_sketch import HashSketch
-from .skim import SkimResult, skim_dense, skim_dense_dyadic
+from .skim import (
+    RESIDUAL_BOUND_FACTOR,
+    SkimResult,
+    residual_infinity_norm,
+    skim_dense,
+    skim_dense_dyadic,
+)
 
 
 def est_sub_join_size(
@@ -196,7 +204,7 @@ def est_skim_join_size_from_parts(
         sparse_sparse = f_skimmed.est_join_size(g_skimmed)
     if _METRICS.enabled:
         _METRICS.count("estimate.joins")
-    return JoinEstimateBreakdown(
+    breakdown = JoinEstimateBreakdown(
         dense_dense=dense_dense,
         dense_sparse=dense_sparse,
         sparse_dense=sparse_dense,
@@ -204,6 +212,82 @@ def est_skim_join_size_from_parts(
         f_skim=f_skim,
         g_skim=g_skim,
         max_additive_error=float(bound),
+    )
+    if _AUDIT.enabled:
+        _emit_audit(
+            breakdown,
+            f_skimmed,
+            g_skimmed,
+            sj_f_dense=sj_f_dense,
+            sj_g_dense=sj_g_dense,
+            sj_f_residual=sj_f_res,
+            sj_g_residual=sj_g_res,
+        )
+    return breakdown
+
+
+def _emit_audit(
+    breakdown: JoinEstimateBreakdown,
+    f_skimmed: HashSketch,
+    g_skimmed: HashSketch,
+    *,
+    sj_f_dense: float,
+    sj_g_dense: float,
+    sj_f_residual: float,
+    sj_g_residual: float,
+) -> None:
+    """Record one :class:`QueryAudit` for a finished join estimate.
+
+    Audit-path only (the linf scans cost ``O(|D| * depth)`` each); the
+    engine / coordinator enrich the record afterwards via
+    ``_AUDIT.annotate_last``.
+    """
+    if not _AUDIT.enabled:
+        return
+    width = f_skimmed.width
+    depth = f_skimmed.depth
+    delta = _AUDIT.delta
+    halfwidth = confidence_halfwidth(
+        sj_f_dense,
+        sj_g_dense,
+        sj_f_residual,
+        sj_g_residual,
+        width=width,
+        depth=depth,
+        delta=delta,
+    )
+    linf_f = residual_infinity_norm(f_skimmed)
+    linf_g = residual_infinity_norm(g_skimmed)
+    threshold_f = float(breakdown.f_skim.threshold)
+    threshold_g = float(breakdown.g_skim.threshold)
+    bound_ok = (
+        linf_f < RESIDUAL_BOUND_FACTOR * threshold_f
+        and linf_g < RESIDUAL_BOUND_FACTOR * threshold_g
+    )
+    estimate = breakdown.estimate
+    _AUDIT.record(
+        QueryAudit(
+            estimate=estimate,
+            dense_dense=breakdown.dense_dense,
+            dense_sparse=breakdown.dense_sparse,
+            sparse_dense=breakdown.sparse_dense,
+            sparse_sparse=breakdown.sparse_sparse,
+            sj_f_dense=sj_f_dense,
+            sj_g_dense=sj_g_dense,
+            sj_f_residual=sj_f_residual,
+            sj_g_residual=sj_g_residual,
+            width=width,
+            depth=depth,
+            threshold_f=threshold_f,
+            threshold_g=threshold_g,
+            residual_linf_f=linf_f,
+            residual_linf_g=linf_g,
+            residual_bound_ok=bound_ok,
+            delta=delta,
+            ci_halfwidth=halfwidth,
+            ci_low=estimate - halfwidth,
+            ci_high=estimate + halfwidth,
+        )
     )
 
 

@@ -16,6 +16,7 @@ from contextlib import nullcontext
 
 from ..core.estimator import SkimmedSketch, SkimmedSketchSchema
 from ..errors import IncompatibleSketchError, QueryError
+from ..monitor import AUDIT as _AUDIT
 from ..obs import METRICS as _METRICS
 from ..trace import TRACER as _TRACER
 from .protocol import ProtocolError, RoundSummary, SketchReport
@@ -139,11 +140,35 @@ class SketchCoordinator:
 
     def est_join_size(self, left: str, right: str) -> float:
         """Global ``COUNT(left join right)`` across all sites' traffic."""
-        return self.global_sketch(left).est_join_size(self.global_sketch(right))
+        estimate = self.global_sketch(left).est_join_size(self.global_sketch(right))
+        if _AUDIT.enabled:
+            self._enrich_audit(left, right)
+        return estimate
 
     def est_self_join_size(self, stream: str) -> float:
         """Global second moment of a stream across all sites."""
-        return self.global_sketch(stream).est_self_join_size()
+        estimate = self.global_sketch(stream).est_self_join_size()
+        if _AUDIT.enabled:
+            self._enrich_audit(stream, stream)
+        return estimate
+
+    def _enrich_audit(self, left: str, right: str) -> None:
+        """Tag the estimator-emitted audit with its fleet provenance.
+
+        Coordinator answers aggregate many sites' traffic; the audit
+        records which sites contributed so a bad CI or residual-bound
+        violation can be chased back to the reporting fleet.
+        """
+        if not _AUDIT.enabled:
+            return
+        audit = _AUDIT.last()
+        if audit is None or audit.origin != "estimator":
+            return
+        audit.origin = "coordinator"
+        audit.streams = (left, right)
+        audit.sites = tuple(
+            sorted(set(self.sites_for(left)) | set(self.sites_for(right)))
+        )
 
     def point_estimate(self, stream: str, value: int) -> float:
         """Global frequency estimate of one value across all sites."""

@@ -9,6 +9,7 @@ Usage::
     python -m repro.eval example1 dyadic-cost baseline-panel
     python -m repro.eval smoke --metrics-out metrics.json
     python -m repro.eval smoke --trace-out trace.jsonl
+    python -m repro.eval smoke --audit-out audits.jsonl
 
 Each experiment prints the same table its ``benchmarks/`` counterpart
 emits; ``--full-scale`` switches the workload sizes exactly like setting
@@ -16,7 +17,12 @@ emits; ``--full-scale`` switches the workload sizes exactly like setting
 :mod:`repro.obs` instrumentation for the run and writes the metrics
 snapshot to ``PATH`` as JSON; ``--trace-out PATH`` enables the
 :mod:`repro.trace` span tracer and writes the trace as JSONL (convert it
-with ``python -m repro.trace convert``).  See docs/OBSERVABILITY.md and
+with ``python -m repro.trace convert``); ``--audit-out PATH`` enables the
+:mod:`repro.monitor` estimate-quality audits and writes every
+``QueryAudit`` (plus drift alerts) to ``PATH`` as JSONL — serve it with
+``python -m repro.monitor serve``.  The ``smoke`` experiment additionally
+runs a shadow-audited engine workload while audits are on, so the JSONL
+contains realized-error verdicts too.  See docs/OBSERVABILITY.md and
 DESIGN.md for the catalogue and experiment index.
 """
 
@@ -26,6 +32,7 @@ import argparse
 import sys
 from typing import Callable
 
+from ..monitor import AUDIT
 from ..obs import METRICS, write_snapshot
 from ..trace import TRACER, write_trace_jsonl
 
@@ -123,7 +130,63 @@ def _smoke(scale: ExperimentScale, trials: int | None) -> str:
         label="smoke",
     )
     results = run_figure5(1.0, (5,), tiny, methods=("skimmed",))
-    return _figure5_output("Smoke (tiny Figure 5 workload)", results)
+    output = _figure5_output("Smoke (tiny Figure 5 workload)", results)
+    if AUDIT.enabled:
+        output += "\n\n" + _audited_query_segment()
+    return output
+
+
+def _audited_query_segment() -> str:
+    """Shadow-audited engine workload (runs only while audits are on).
+
+    Registers several Zipf streams on one engine with a
+    :class:`~repro.monitor.shadow.ShadowAuditor` attached (sample rate
+    1.0 — exact on this tiny domain), then answers a battery of join and
+    self-join queries.  Every answer lands in ``repro.monitor.AUDIT``
+    with a realized-error verdict, which is what ``--audit-out`` writes
+    and ``make monitor-smoke`` scrapes.
+    """
+    import numpy as np
+
+    from ..core.config import SketchParameters
+    from ..monitor import ShadowAuditor
+    from ..streams.engine import StreamEngine
+    from ..streams.query import JoinCountQuery, SelfJoinQuery
+    from ..streams.generators import shifted_zipf_pair
+
+    domain_size = 1 << 10
+    engine = StreamEngine(
+        domain_size, SketchParameters(width=128, depth=7), synopsis="skimmed", seed=7
+    )
+    shadow = ShadowAuditor(sample_rate=1.0, window=64, coverage_target=0.9)
+    engine.attach_shadow(shadow)
+
+    rng = np.random.default_rng(2026)
+    names: list[str] = []
+    for index, shift in enumerate((0, 16, 32, 48, 64, 80)):
+        vec, _ = shifted_zipf_pair(domain_size, 5_000, 1.0, shift, rng)
+        name = f"s{index}"
+        engine.register_stream(name)
+        values = vec.support()
+        engine.process_bulk(name, values, vec.counts[values])
+        names.append(name)
+
+    queries = [
+        JoinCountQuery(left, right)
+        for left, right in zip(names, names[1:] + names[:1])
+    ] + [SelfJoinQuery(name) for name in names]
+    for query in queries:
+        engine.answer(query)
+
+    audits = [a for a in AUDIT.audits() if a.covered is not None]
+    covered = sum(1 for a in audits if a.covered)
+    lines = [
+        "Shadow-audited queries (engine + ShadowAuditor, exact mirror):",
+        f"  queries audited        : {len(audits)}",
+        f"  realized error in CI   : {covered}/{len(audits)}",
+        f"  drift alerts           : {len(AUDIT.alerts)}",
+    ]
+    return "\n".join(lines)
 
 
 EXPERIMENTS: dict[str, Callable[[ExperimentScale, int | None], str]] = {
@@ -172,6 +235,13 @@ def main(argv: list[str] | None = None) -> int:
         help="enable repro.trace span tracing and write the trace to "
         "PATH as JSONL",
     )
+    parser.add_argument(
+        "--audit-out",
+        metavar="PATH",
+        default=None,
+        help="enable repro.monitor estimate-quality audits and write "
+        "every QueryAudit to PATH as JSONL",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -186,7 +256,11 @@ def main(argv: list[str] | None = None) -> int:
     scale = full_scale() if args.full_scale else default_scale()
     # Fail fast on unwritable paths: outputs are written *after* the
     # experiments, and losing a long run to a typo would sting.
-    for flag, path in (("--metrics-out", args.metrics_out), ("--trace-out", args.trace_out)):
+    for flag, path in (
+        ("--metrics-out", args.metrics_out),
+        ("--trace-out", args.trace_out),
+        ("--audit-out", args.audit_out),
+    ):
         if path:
             try:
                 with open(path, "a", encoding="utf-8"):
@@ -199,6 +273,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace_out:
         TRACER.reset()
         TRACER.enable()
+    if args.audit_out:
+        AUDIT.reset()
+        AUDIT.enable()
     try:
         for name in args.experiments:
             # Timer powers the printed wall-clock line even with telemetry
@@ -216,11 +293,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_out:
             write_trace_jsonl(args.trace_out, TRACER.snapshot())
             print(f"[trace written to {args.trace_out}]")
+        if args.audit_out:
+            lines = AUDIT.write_jsonl(args.audit_out)
+            print(f"[{lines} audit records written to {args.audit_out}]")
     finally:
         if args.metrics_out:
             METRICS.disable()
         if args.trace_out:
             TRACER.disable()
+        if args.audit_out:
+            AUDIT.disable()
     return 0
 
 

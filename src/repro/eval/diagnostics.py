@@ -23,7 +23,12 @@ import math
 from dataclasses import dataclass
 
 from ..core.estimator import SkimmedSketch
-from ..core.skim import default_threshold, skim_dense
+from ..core.skim import (
+    RESIDUAL_BOUND_FACTOR,
+    default_threshold,
+    residual_infinity_norm,
+    skim_dense,
+)
 from ..obs import METRICS, MetricsRegistry
 from ..errors import ParameterError
 
@@ -42,6 +47,12 @@ class SketchHealthReport:
     dense_value_count: int
     dense_mass_fraction: float
     recommended_width: int | None
+    #: ``‖residual‖∞`` of a skim at the current threshold — SKIMDENSE's
+    #: Theorem-4 contract says it stays below
+    #: ``RESIDUAL_BOUND_FACTOR * skim_threshold`` w.h.p.  The same check
+    #: ``repro.monitor`` audits per query.
+    residual_linf: float = 0.0
+    residual_bound_ok: bool = True
 
     def describe(self) -> str:
         """Multi-line human-readable rendering of the report."""
@@ -54,6 +65,8 @@ class SketchHealthReport:
             f"  skim threshold (theta) : {self.skim_threshold:,.1f}",
             f"  dense values at theta  : {self.dense_value_count} "
             f"({self.dense_mass_fraction:.1%} of stream mass)",
+            f"  residual |.|inf vs 2*theta: {self.residual_linf:,.1f} "
+            + ("[ok]" if self.residual_bound_ok else "[VIOLATED]"),
         ]
         if self.recommended_width is not None:
             verdict = (
@@ -81,6 +94,8 @@ class SketchHealthReport:
             f"{prefix}.skim_threshold": float(self.skim_threshold),
             f"{prefix}.dense_values": float(self.dense_value_count),
             f"{prefix}.dense_mass_fraction": float(self.dense_mass_fraction),
+            f"{prefix}.residual_linf": float(self.residual_linf),
+            f"{prefix}.residual_bound_ok": 1.0 if self.residual_bound_ok else 0.0,
         }
         if self.recommended_width is not None:
             gauges[f"{prefix}.recommended_width"] = float(self.recommended_width)
@@ -123,11 +138,14 @@ def sketch_health(
 
     threshold = default_threshold(inner, sketch.schema.threshold_multiplier)
     if math.isfinite(threshold):
-        skim, _ = skim_dense(inner, threshold)
+        skim, skimmed = skim_dense(inner, threshold)
         dense_count = skim.dense_count
         dense_fraction = skim.dense_mass() / n if n > 0 else 0.0
+        residual_linf = residual_infinity_norm(skimmed)
+        bound_ok = residual_linf < RESIDUAL_BOUND_FACTOR * threshold
     else:
         dense_count, dense_fraction = 0, 0.0
+        residual_linf, bound_ok = 0.0, True
 
     recommended = None
     if target_error is not None and target_join_size is not None:
@@ -146,4 +164,6 @@ def sketch_health(
         dense_value_count=dense_count,
         dense_mass_fraction=min(max(dense_fraction, 0.0), 1.0),
         recommended_width=recommended,
+        residual_linf=residual_linf,
+        residual_bound_ok=bound_ok,
     )

@@ -1,0 +1,275 @@
+"""Shadow-exact drift detection for audited join estimates.
+
+A skimmed sketch's error bound is *probabilistic*; nothing in the sketch
+itself can tell you whether the realized error has started to exceed it
+(bad hash seeds for the live data, a schema sized for a different skew,
+a buggy merge).  The :class:`ShadowAuditor` closes that gap the way
+production sketch deployments do: it maintains **exact** joint
+frequencies on a deterministic hash-sampled sub-domain, so for every
+audited query it can compute an unbiased estimate of the true join size,
+the realized error of the sketch answer, and whether that error fell
+inside the theory confidence interval recorded on the
+:class:`~repro.monitor.audit.QueryAudit`.
+
+Coverage is tracked over a rolling window of audited queries; when the
+fraction of in-CI answers drops below the configured target (the CI was
+built at ``1 - delta`` confidence, so the target is normally
+``1 - delta`` minus sampling slack), a structured :class:`DriftAlert` is
+raised — appended to the audit log, surfaced as gauges by the engine
+wiring, and emitted as a ``repro.monitor`` warning log record.
+
+Sampling is by value hash (splitmix64), so the same sub-domain is
+tracked for every stream and join sizes restrict exactly: a value ``v``
+is shadowed iff ``hash(v ^ seed) / 2**64 < sample_rate``.  With
+``sample_rate = 1.0`` the auditor is an exact mirror (the configuration
+used in tests and the smoke experiment, where domains are small).
+
+Stdlib-only, like the rest of ``repro.monitor``.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+LOGGER = logging.getLogger("repro.monitor")
+
+_MASK64 = (1 << 64) - 1
+
+#: Default rolling window length for coverage tracking.
+DEFAULT_WINDOW = 64
+
+#: Minimum audited queries before a coverage verdict is meaningful.
+DEFAULT_MIN_WINDOW = 20
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer — a cheap, well-distributed 64-bit mix."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """Structured record of a coverage violation over a rolling window.
+
+    ``coverage`` is the fraction of the window's audited queries whose
+    realized error fell inside their theory CI; the alert fires when it
+    drops below ``target``.  ``streams`` and the last query's numbers
+    identify where to look first.
+    """
+
+    window: int
+    covered: int
+    coverage: float
+    target: float
+    streams: tuple[str, ...]
+    estimate: float
+    shadow_exact: float
+    realized_error: float
+    ci_halfwidth: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready dict (the JSONL / ``/audits`` wire format)."""
+        return {
+            "record_type": "drift_alert",
+            "window": self.window,
+            "covered": self.covered,
+            "coverage": self.coverage,
+            "target": self.target,
+            "streams": list(self.streams),
+            "estimate": self.estimate,
+            "shadow_exact": self.shadow_exact,
+            "realized_error": self.realized_error,
+            "ci_halfwidth": self.ci_halfwidth,
+        }
+
+    def describe(self) -> str:
+        """One-line human summary for logs."""
+        return (
+            f"drift: coverage {self.coverage:.2f} < target {self.target:.2f} "
+            f"over last {self.window} audited queries "
+            f"(last: streams={'/'.join(self.streams) or '?'} "
+            f"estimate={self.estimate:.1f} exact={self.shadow_exact:.1f} "
+            f"|err|={self.realized_error:.1f} ci={self.ci_halfwidth:.1f})"
+        )
+
+
+class ShadowAuditor:
+    """Exact joint frequencies on a hash-sampled sub-domain.
+
+    Attach one to a :class:`~repro.streams.engine.StreamEngine` via
+    ``attach_shadow``; the engine feeds it every ingested element (only
+    while audits are enabled) and consults it after every audited join
+    query.  Memory is ``O(sample_rate * distinct values)`` per stream.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        window: int = DEFAULT_WINDOW,
+        coverage_target: float = 0.9,
+        min_window: int = DEFAULT_MIN_WINDOW,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+        if not 0.0 < coverage_target <= 1.0:
+            raise ValueError(
+                f"coverage_target must be in (0, 1], got {coverage_target}"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if min_window < 1:
+            raise ValueError(f"min_window must be >= 1, got {min_window}")
+        self.sample_rate = sample_rate
+        self.seed = seed
+        self.coverage_target = coverage_target
+        self.min_window = min_window
+        self._threshold = int(sample_rate * float(1 << 64))
+        self._frequencies: dict[str, dict[int, float]] = {}
+        self._window: deque[bool] = deque(maxlen=window)
+        self._queries = 0
+        self._alerts = 0
+
+    # -- ingest ------------------------------------------------------------
+
+    def sampled(self, value: int) -> bool:
+        """Whether ``value`` belongs to the shadowed sub-domain."""
+        if self.sample_rate >= 1.0:
+            return True
+        return _mix64(int(value) ^ (self.seed * 0x9E3779B97F4A7C15 & _MASK64)) < (
+            self._threshold
+        )
+
+    def observe(self, stream: str, value: int, weight: float = 1.0) -> None:
+        """Fold one stream element into the shadow frequencies."""
+        value = int(value)
+        if not self.sampled(value):
+            return
+        freqs = self._frequencies.setdefault(stream, {})
+        freqs[value] = freqs.get(value, 0.0) + float(weight)
+
+    def observe_bulk(
+        self,
+        stream: str,
+        values: Iterable[int],
+        weights: Iterable[float] | None = None,
+    ) -> None:
+        """Fold a batch of elements (Python-loop; audits-enabled only)."""
+        freqs = self._frequencies.setdefault(stream, {})
+        if weights is None:
+            for raw in values:
+                value = int(raw)
+                if self.sampled(value):
+                    freqs[value] = freqs.get(value, 0.0) + 1.0
+        else:
+            for raw, weight in zip(values, weights):
+                value = int(raw)
+                if self.sampled(value):
+                    freqs[value] = freqs.get(value, 0.0) + float(weight)
+
+    # -- exact answers -----------------------------------------------------
+
+    def tracked_streams(self) -> list[str]:
+        """Streams with at least one shadowed element, sorted."""
+        return sorted(self._frequencies)
+
+    def tracked_values(self, stream: str) -> int:
+        """Number of distinct shadowed values for ``stream``."""
+        return len(self._frequencies.get(stream, {}))
+
+    def exact_sub_join(self, left: str, right: str) -> float:
+        """Exact join size restricted to the shadowed sub-domain."""
+        f = self._frequencies.get(left, {})
+        g = self._frequencies.get(right, {})
+        if len(g) < len(f):
+            f, g = g, f
+        return sum(freq * g.get(value, 0.0) for value, freq in f.items())
+
+    def estimate_exact_join(self, left: str, right: str) -> float:
+        """Unbiased estimate of the full-domain join size.
+
+        Each value lands in the shadow independently with probability
+        ``sample_rate``, so ``(sub-domain join) / sample_rate`` is
+        unbiased over the sampling hash.  Exact when ``sample_rate`` is
+        ``1.0``.
+        """
+        return self.exact_sub_join(left, right) / self.sample_rate
+
+    # -- drift tracking ----------------------------------------------------
+
+    @property
+    def queries(self) -> int:
+        """Total audited queries observed."""
+        return self._queries
+
+    @property
+    def alert_count(self) -> int:
+        """Total drift alerts raised."""
+        return self._alerts
+
+    def coverage(self) -> float:
+        """In-CI fraction over the current window (1.0 when empty)."""
+        if not self._window:
+            return 1.0
+        return sum(self._window) / len(self._window)
+
+    def observe_query(
+        self,
+        left: str,
+        right: str,
+        estimate: float,
+        ci_halfwidth: float,
+    ) -> tuple[float, float, bool, DriftAlert | None]:
+        """Score one audited query against the shadow-exact answer.
+
+        Returns ``(shadow_exact, realized_error, covered, alert)``;
+        ``alert`` is ``None`` unless this query tipped the rolling
+        window's coverage below ``coverage_target`` (the window resets
+        after an alert so one bad stretch raises one alert, not a
+        storm).
+        """
+        exact = self.estimate_exact_join(left, right)
+        realized = abs(float(estimate) - exact)
+        covered = realized <= ci_halfwidth
+        self._queries += 1
+        self._window.append(covered)
+        alert: DriftAlert | None = None
+        if len(self._window) >= self.min_window:
+            in_ci = sum(self._window)
+            coverage = in_ci / len(self._window)
+            if coverage < self.coverage_target:
+                alert = DriftAlert(
+                    window=len(self._window),
+                    covered=in_ci,
+                    coverage=coverage,
+                    target=self.coverage_target,
+                    streams=(left, right),
+                    estimate=float(estimate),
+                    shadow_exact=exact,
+                    realized_error=realized,
+                    ci_halfwidth=float(ci_halfwidth),
+                )
+                self._alerts += 1
+                self._window.clear()
+                LOGGER.warning("%s", alert.describe())
+        return exact, realized, covered, alert
+
+    def reset(self) -> None:
+        """Drop all shadow state (frequencies, window, counters)."""
+        self._frequencies.clear()
+        self._window.clear()
+        self._queries = 0
+        self._alerts = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowAuditor(sample_rate={self.sample_rate}, "
+            f"streams={len(self._frequencies)}, queries={self._queries}, "
+            f"alerts={self._alerts})"
+        )

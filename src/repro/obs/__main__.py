@@ -39,9 +39,29 @@ def _diff_main(argv: list[str]) -> int:
     if len(paths) != 2:
         print(_USAGE, file=sys.stderr)
         return 2
+    # Compare the raw schema versions first: two files that disagree on
+    # the schema must fail loudly as a *mismatch*, not be half-compared
+    # or blamed on whichever file happens to be the unsupported one.
     try:
-        old, new = _load(paths[0]), _load(paths[1])
+        raws = []
+        for path in paths:
+            with open(path, encoding="utf-8") as fh:
+                raws.append(json.load(fh))
     except (OSError, ValueError) as exc:
+        print(f"invalid snapshot: {exc}", file=sys.stderr)
+        return 1
+    versions = [r.get("version") if isinstance(r, dict) else None for r in raws]
+    if versions[0] != versions[1]:
+        print(
+            f"snapshot schema-version mismatch: {paths[0]} has version "
+            f"{versions[0]!r} but {paths[1]} has version {versions[1]!r}; "
+            "refusing to diff",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        old, new = validate_snapshot(raws[0]), validate_snapshot(raws[1])
+    except ValueError as exc:
         print(f"invalid snapshot: {exc}", file=sys.stderr)
         return 1
     diff = diff_snapshots(old, new)

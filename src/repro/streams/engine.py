@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING, Iterable
 import numpy as np
 
 from ..errors import ParameterError, QueryError
+from ..monitor import AUDIT as _AUDIT
+from ..monitor.shadow import ShadowAuditor
 from ..obs import METRICS as _METRICS
 from ..trace import TRACER as _TRACER
 from ..sketches.agms import AGMSSchema, AGMSSketch
@@ -96,6 +98,7 @@ class StreamEngine:
         self.parameters = parameters
         self.synopsis_kind = synopsis
         self.seed = seed
+        self._shadow: ShadowAuditor | None = None
         self._streams: dict[str, _RegisteredStream] = {}
         self._relations: dict[str, RelationSketch] = {}
         # Multi-join relations (§2.1 extension, per Dobra et al. [5]) are
@@ -139,6 +142,18 @@ class StreamEngine:
         """Names of all registered streams."""
         return list(self._streams)
 
+    def attach_shadow(self, auditor: ShadowAuditor | None) -> None:
+        """Attach (or detach, with ``None``) a shadow-exact drift auditor.
+
+        While ``repro.monitor.AUDIT`` is enabled, every ingested element
+        is also folded into the auditor's exact sampled frequencies, and
+        every audited join query gets a realized-error verdict (plus a
+        :class:`~repro.monitor.shadow.DriftAlert` when a rolling window's
+        CI coverage drops below the auditor's target).  Attach it before
+        elements flow — values ingested earlier are invisible to it.
+        """
+        self._shadow = auditor
+
     def register_relation(self, name: str, attributes: tuple[str, ...]) -> None:
         """Declare a multi-attribute relation for multi-join queries.
 
@@ -172,6 +187,8 @@ class StreamEngine:
             "engine.ingest", stream=stream, elements=1
         ) if _TRACER.enabled else nullcontext():
             registered.synopsis.update(value, weight)
+        if _AUDIT.enabled and self._shadow is not None:
+            self._shadow.observe(stream, value, weight)
         if _METRICS.enabled:
             _METRICS.count("engine.elements.seen")
             _METRICS.count(f"engine.stream.{stream}.elements")
@@ -209,6 +226,12 @@ class StreamEngine:
             kept=kept,
         ) if _TRACER.enabled else nullcontext():
             registered.synopsis.update_bulk(values[keep], kept_weights)
+        if _AUDIT.enabled and self._shadow is not None:
+            self._shadow.observe_bulk(
+                stream,
+                values[keep].tolist(),
+                None if kept_weights is None else kept_weights.tolist(),
+            )
 
     def stream_stats(self, stream: str) -> tuple[int, int]:
         """``(elements_seen, elements_dropped_by_predicate)`` for a stream."""
@@ -339,12 +362,63 @@ class StreamEngine:
             raise QueryError(f"unknown relation {relation!r}") from None
 
     def _join_size(self, left: str, right: str) -> float:
-        return float(
+        estimate = float(
             self._lookup(left).synopsis.est_join_size(self._lookup(right).synopsis)
         )
+        if _AUDIT.enabled:
+            self._enrich_audit(estimate, left, right)
+        return estimate
 
     def _self_join_size(self, stream: str) -> float:
-        return float(self._lookup(stream).synopsis.est_self_join_size())
+        estimate = float(self._lookup(stream).synopsis.est_self_join_size())
+        if _AUDIT.enabled:
+            self._enrich_audit(estimate, stream, stream)
+        return estimate
+
+    def _enrich_audit(self, estimate: float, left: str, right: str) -> None:
+        """Enrich the estimator-emitted audit of the query just answered.
+
+        Adds stream names, per-stream sketch health, and — when a shadow
+        auditor is attached — the realized error against the shadow-exact
+        join size plus CI-coverage drift tracking.  Audit-path only: runs
+        one skim + domain scan per stream per audited query.
+        """
+        if not _AUDIT.enabled:
+            return
+        audit = _AUDIT.last()
+        if audit is None or audit.origin != "estimator":
+            return  # non-skimmed synopsis: no audit was emitted for this query
+        audit.origin = "engine"
+        audit.streams = (left, right)
+        if self.synopsis_kind == "skimmed":
+            # Imported here: repro.eval pulls in the experiment stack, and
+            # repro.streams must stay importable without it at module load.
+            from ..eval.diagnostics import sketch_health
+
+            audit.health = {
+                name: sketch_health(self._lookup(name).synopsis).as_metrics()
+                for name in dict.fromkeys((left, right))
+            }
+        if self._shadow is not None:
+            exact, realized, covered, alert = self._shadow.observe_query(
+                left, right, estimate, audit.ci_halfwidth
+            )
+            audit.shadow_exact = exact
+            audit.realized_error = realized
+            audit.realized_relative_error = (
+                realized / abs(exact) if exact != 0 else float("inf")
+            )
+            audit.covered = covered
+            if _METRICS.enabled:
+                _METRICS.gauge("monitor.shadow.coverage", self._shadow.coverage())
+                _METRICS.gauge("monitor.audit.realized_error", realized)
+            if alert is not None:
+                _AUDIT.alert(alert)
+                if _METRICS.enabled:
+                    _METRICS.count("monitor.drift.alerts")
+                    _METRICS.gauge("monitor.drift.last_coverage", alert.coverage)
+        if _METRICS.enabled:
+            _METRICS.count("monitor.audits.enriched")
 
     def _point(self, stream: str, value: int) -> float:
         synopsis = self._lookup(stream).synopsis

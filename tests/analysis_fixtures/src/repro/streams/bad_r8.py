@@ -1,0 +1,10 @@
+"""R8 fixture: audits recorded without the enabled-flag guard."""
+
+from ..monitor import AUDIT as _AUDIT
+
+
+def answer(engine, query, audit):
+    estimate = engine.answer(query)
+    _AUDIT.record(audit)  # R8: no guard
+    _AUDIT.annotate_last(estimate=estimate)  # R8: still unguarded
+    return estimate

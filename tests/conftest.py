@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.monitor import AUDIT
 from repro.obs import METRICS
 from repro.streams.generators import shifted_zipf_pair, zipf_frequencies
 from repro.streams.model import FrequencyVector
@@ -21,17 +22,21 @@ MEDIUM_DOMAIN = 4096
 
 @pytest.fixture(autouse=True)
 def _obs_isolation():
-    """Keep the global metrics registry and tracer disabled and empty
-    between tests."""
+    """Keep the global metrics registry, tracer and audit log disabled
+    and empty between tests."""
     METRICS.disable()
     METRICS.reset()
     TRACER.disable()
     TRACER.reset()
+    AUDIT.disable()
+    AUDIT.reset()
     yield
     METRICS.disable()
     METRICS.reset()
     TRACER.disable()
     TRACER.reset()
+    AUDIT.disable()
+    AUDIT.reset()
 
 
 @pytest.fixture

@@ -29,7 +29,7 @@ from repro.analysis.engine import iter_python_files
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
-RULE_IDS = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+RULE_IDS = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
 
 #: rule id -> (bad fixture, expected finding count, good fixture)
 FIXTURE_MAP = {
@@ -40,6 +40,7 @@ FIXTURE_MAP = {
     "R5": ("src/repro/streams/bad_r5.py", 2, "src/repro/streams/good_r5.py"),
     "R6": ("src/repro/streams/bad_r6.py", 3, "src/repro/streams/good_r6.py"),
     "R7": ("src/repro/streams/bad_r7.py", 2, "src/repro/streams/good_r7.py"),
+    "R8": ("src/repro/streams/bad_r8.py", 2, "src/repro/streams/good_r8.py"),
 }
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import math
 import pathlib
 import re
@@ -466,6 +467,44 @@ class TestDiffSnapshots:
     def test_diff_validates_inputs(self):
         with pytest.raises(ValueError):
             diff_snapshots({}, self._snap(1))
+
+
+class TestDiffCLISchemaVersion:
+    """``repro.obs diff`` must refuse to compare mismatched schemas."""
+
+    def _write_raw(self, path, version) -> None:
+        snap = {"version": version, "counters": {}, "gauges": {}, "histograms": {}}
+        path.write_text(json.dumps(snap))
+
+    def test_version_mismatch_exits_nonzero(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        before, after = tmp_path / "v1.json", tmp_path / "v2.json"
+        self._write_raw(before, 1)
+        self._write_raw(after, 2)
+        assert obs_main(["diff", str(before), str(after)]) == 1
+        err = capsys.readouterr().err
+        assert "schema-version mismatch" in err
+        assert "version 1" in err and "version 2" in err
+
+    def test_mismatch_detected_before_validation(self, tmp_path, capsys):
+        """Both files unsupported but *different* is still a mismatch, not
+        a generic validation failure blamed on one file."""
+        from repro.obs.__main__ import main as obs_main
+
+        before, after = tmp_path / "v2.json", tmp_path / "v3.json"
+        self._write_raw(before, 2)
+        self._write_raw(after, 3)
+        assert obs_main(["diff", str(before), str(after)]) == 1
+        assert "schema-version mismatch" in capsys.readouterr().err
+
+    def test_matching_versions_still_diff(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        before, after = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_raw(before, 1)
+        self._write_raw(after, 1)
+        assert obs_main(["diff", str(before), str(after)]) == 0
 
 
 class TestImportCost:

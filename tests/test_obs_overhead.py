@@ -66,6 +66,46 @@ def test_disabled_update_bulk_matches_uninstrumented_kernel(rng):
     )
 
 
+def test_disabled_audit_answer_matches_raw_estimator(rng):
+    """The repro.monitor hooks on the query path are one attribute read
+    and one branch per *query* while disabled — ``engine.answer()`` must
+    stay within a small factor of calling the estimator directly.  A
+    regression here means audit work (residual scans, shadow lookups,
+    health reports) leaked onto the disabled path."""
+    from repro.core.config import SketchParameters
+    from repro.monitor import AUDIT
+    from repro.streams.engine import StreamEngine
+    from repro.streams.query import JoinCountQuery
+
+    assert not AUDIT.enabled  # the conftest fixture guarantees this
+    engine = StreamEngine(
+        1 << 12, SketchParameters(width=256, depth=7), synopsis="skimmed", seed=1
+    )
+    for name in ("f", "g"):
+        engine.register_stream(name)
+        engine.process_bulk(name, rng.integers(0, 1 << 12, size=20_000))
+    query = JoinCountQuery("f", "g")
+    sf, sg = engine.synopsis_for("f"), engine.synopsis_for("g")
+
+    def kernel():
+        sf.est_join_size(sg)
+
+    def instrumented():
+        engine.answer(query)
+
+    kernel()
+    instrumented()
+    kernel_time = _best_of(REPEATS, kernel)
+    instrumented_time = _best_of(REPEATS, instrumented)
+
+    budget = kernel_time * MAX_FACTOR + SLACK_SECONDS
+    assert instrumented_time <= budget, (
+        f"answer() took {instrumented_time * 1e3:.2f}ms vs raw estimator "
+        f"{kernel_time * 1e3:.2f}ms (budget {budget * 1e3:.2f}ms) — "
+        "disabled-audit overhead regressed on the query path"
+    )
+
+
 def test_enabled_update_bulk_overhead_is_batch_level(rng):
     """Even *enabled*, bulk instrumentation is per-batch, not per-element."""
     schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
