@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke lint check clean
+.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke lint check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,7 +22,7 @@ lint:
 	fi
 
 # Umbrella gate: everything CI runs.
-check: lint test metrics-smoke monitor-smoke
+check: lint test metrics-smoke monitor-smoke parallel-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -70,6 +70,12 @@ monitor-smoke:
 		--metrics .monitor-smoke.metrics.json \
 		--audits .monitor-smoke.audits.jsonl --min-audits 1
 	rm -f .monitor-smoke.metrics.json .monitor-smoke.audits.jsonl
+
+# Prove serial-vs-sharded exactness on a seeded stream for every ingest
+# mode (counters bit-identical, query answers equal); exit 1 on any
+# mismatch.  See docs/PERFORMANCE.md.
+parallel-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.parallel selfcheck --workers 4
 
 clean:
 	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks

@@ -27,6 +27,7 @@ Package map (details in DESIGN.md):
 * :mod:`repro.hashing` — k-wise independent hash/sign families;
 * :mod:`repro.streams` — stream model, generators, query engine, multi-join;
 * :mod:`repro.baselines` — exact / sampling / bifocal / partitioned AGMS;
+* :mod:`repro.parallel` — sharded parallel ingestion with exact merge;
 * :mod:`repro.eval` — the paper's evaluation methodology and experiments.
 """
 
@@ -58,6 +59,8 @@ from .sketches import (
     StreamSynopsis,
     TopKSketch,
 )
+from .hashing import BulkHashCache
+from .parallel import ParallelStreamEngine, ShardedIngestor
 from .streams import (
     FrequencyVector,
     StreamEngine,
@@ -66,8 +69,11 @@ from .streams import (
 from .sketches.serialize import (
     SerializationError,
     load_sketch,
+    merge_sketch_state,
     save_sketch,
+    sketch_from_spec,
     sketch_from_state,
+    sketch_spec,
     sketch_state,
 )
 
@@ -76,6 +82,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AGMSSchema",
     "AGMSSketch",
+    "BulkHashCache",
     "DeletionUnsupportedError",
     "DomainError",
     "DyadicHashSketch",
@@ -85,9 +92,11 @@ __all__ = [
     "HashSketchSchema",
     "IncompatibleSketchError",
     "JoinEstimateBreakdown",
+    "ParallelStreamEngine",
     "QueryError",
     "ReproError",
     "SerializationError",
+    "ShardedIngestor",
     "SketchParameters",
     "SkimResult",
     "SkimmedSketch",
@@ -99,8 +108,11 @@ __all__ = [
     "est_skim_join_size",
     "est_sub_join_size",
     "load_sketch",
+    "merge_sketch_state",
     "save_sketch",
+    "sketch_from_spec",
     "sketch_from_state",
+    "sketch_spec",
     "sketch_state",
     "skim_dense",
     "skim_dense_dyadic",

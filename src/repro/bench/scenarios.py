@@ -107,6 +107,142 @@ def _run_update_hash(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
     }
 
 
+def _skewed_update_stream(params: dict[str, Any]):
+    """Deterministic duplicate-heavy batch (Zipf-ish via modulo fold)."""
+    import numpy as np
+
+    rng = np.random.default_rng(params["seed"])
+    draws = rng.zipf(params["z"], size=params["n"]).astype(np.int64)
+    return draws % params["domain"]
+
+
+@_register(
+    "update.fused",
+    "HashSketch.update_bulk throughput on a duplicate-heavy Zipf batch "
+    "(exercises the coalescing fused kernel)",
+    {
+        "smoke": {
+            "n": 50_000,
+            "domain": 1 << 12,
+            "z": 1.2,
+            "width": 256,
+            "depth": 7,
+            "seed": 7,
+        },
+        "full": {
+            "n": 500_000,
+            "domain": 1 << 16,
+            "z": 1.2,
+            "width": 1024,
+            "depth": 9,
+            "seed": 7,
+        },
+    },
+)
+def _run_update_fused(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..sketches import HashSketchSchema
+
+    values = _skewed_update_stream(params)
+    sketch = HashSketchSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    ).create_sketch()
+    start = time.perf_counter()
+    sketch.update_bulk(values)
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "updates": params["n"],
+        "sketch_bytes": sketch.size_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+@_register(
+    "update.dyadic",
+    "DyadicHashSketch.update_bulk throughput across all dyadic levels "
+    "(the multi-level ingest cost the BulkHashCache coalescing amortises)",
+    {
+        "smoke": {"n": 50_000, "domain": 1 << 12, "width": 256, "depth": 7, "seed": 7},
+        "full": {"n": 500_000, "domain": 1 << 16, "width": 1024, "depth": 9, "seed": 7},
+    },
+)
+def _run_update_dyadic(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    from ..sketches import DyadicSketchSchema
+
+    values = _update_stream(params)
+    sketch = DyadicSketchSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    ).create_sketch()
+    start = time.perf_counter()
+    sketch.update_bulk(values)
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "updates": params["n"],
+        "sketch_bytes": sketch.size_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+def _run_ingest_parallel(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    """Shared runner for the ingest.parallel worker-count series."""
+    import numpy as np
+
+    from ..parallel import ShardedIngestor
+    from ..sketches import HashSketchSchema
+
+    values = _update_stream(params)
+    batches = np.array_split(values, max(1, params["n"] // params["batch"]))
+    schema = HashSketchSchema(
+        params["width"], params["depth"], params["domain"], seed=params["seed"]
+    )
+    with ShardedIngestor(
+        schema, workers=params["workers"], mode=params["mode"]
+    ) as ingestor:
+        start = time.perf_counter()
+        for batch in batches:
+            ingestor.ingest(batch)
+        merged = ingestor.merged()
+        elapsed = time.perf_counter() - start
+        return elapsed, {
+            "updates": params["n"],
+            "sketch_bytes": merged.size_in_counters() * _BYTES_PER_COUNTER,
+        }
+
+
+def _ingest_parallel_suites(workers: int) -> dict[str, dict[str, Any]]:
+    """Suite params for one worker count of the ingest.parallel series."""
+    mode = "serial" if workers == 1 else "thread"
+    return {
+        "smoke": {
+            "n": 50_000,
+            "batch": 8_192,
+            "domain": 1 << 12,
+            "width": 256,
+            "depth": 7,
+            "seed": 7,
+            "workers": workers,
+            "mode": mode,
+        },
+        "full": {
+            "n": 500_000,
+            "batch": 8_192,
+            "domain": 1 << 16,
+            "width": 1024,
+            "depth": 9,
+            "seed": 7,
+            "workers": workers,
+            "mode": mode,
+        },
+    }
+
+
+for _workers in (1, 2, 4):
+    _register(
+        "ingest.parallel",
+        "ShardedIngestor batch ingest + exact merge at "
+        f"{_workers} worker(s) (records are keyed by the workers param; "
+        "compare against workers=1 for the scaling curve)",
+        _ingest_parallel_suites(_workers),
+    )(_run_ingest_parallel)
+
+
 @_register(
     "update.agms",
     "Basic AGMS update_bulk throughput at matched counter budget (the "

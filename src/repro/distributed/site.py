@@ -12,6 +12,11 @@ messages when a reporting round closes.  Two reporting modes:
   report (the sketch is reset after reporting); the coordinator *adds*
   deltas.  Smaller rounds, but a lost report loses data — the classic
   trade-off, both exact under linearity when delivery holds.
+
+A site can additionally shard its *local* ingestion across workers
+(``parallel_workers`` > 1): each stream's sketch is then wrapped in a
+:class:`~repro.parallel.ShardedIngestor` and merged exactly when a round
+closes.  Reports are bit-identical to serial ingestion either way.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from contextlib import nullcontext
 from ..core.estimator import SkimmedSketchSchema
 from ..errors import ParameterError, QueryError
 from ..obs import METRICS as _METRICS
+from ..parallel import INGEST_MODES, ShardedIngestor
 from ..trace import TRACER as _TRACER
 from .protocol import SketchReport
 
@@ -43,6 +49,12 @@ class SketchSite:
         Stream names this site observes.
     mode:
         ``"cumulative"`` or ``"delta"`` (see module docstring).
+    parallel_workers:
+        Shard the site's local ingestion across this many workers
+        (default 1 = plain serial sketches, no executors).
+    parallel_mode:
+        :data:`~repro.parallel.INGEST_MODES` strategy used when
+        ``parallel_workers`` > 1.
     """
 
     def __init__(
@@ -51,6 +63,8 @@ class SketchSite:
         schema: SkimmedSketchSchema,
         streams: list[str],
         mode: str = "cumulative",
+        parallel_workers: int = 1,
+        parallel_mode: str = "thread",
     ):
         if mode not in REPORT_MODES:
             raise ParameterError(f"mode must be one of {REPORT_MODES}, got {mode!r}")
@@ -58,10 +72,28 @@ class SketchSite:
             raise ParameterError("a site must observe at least one stream")
         if len(set(streams)) != len(streams):
             raise ParameterError(f"duplicate stream names in {streams}")
+        if parallel_workers < 1:
+            raise ParameterError(
+                f"parallel_workers must be >= 1, got {parallel_workers}"
+            )
+        if parallel_mode not in INGEST_MODES:
+            raise ParameterError(
+                f"parallel_mode must be one of {INGEST_MODES}, got {parallel_mode!r}"
+            )
         self.name = name
         self.schema = schema
         self.mode = mode
+        self.parallel_workers = parallel_workers
+        self.parallel_mode = parallel_mode
         self._sketches = {stream: schema.create_sketch() for stream in streams}
+        self._ingestors: dict[str, ShardedIngestor] | None = None
+        if parallel_workers > 1:
+            self._ingestors = {
+                stream: ShardedIngestor(
+                    schema, workers=parallel_workers, mode=parallel_mode
+                )
+                for stream in streams
+            }
         self._round = 0
 
     @property
@@ -76,23 +108,30 @@ class SketchSite:
 
     def observe(self, stream: str, value: int, weight: float = 1.0) -> None:
         """Absorb one local stream element (insert or delete)."""
-        try:
-            sketch = self._sketches[stream]
-        except KeyError:
+        if stream not in self._sketches:
             raise QueryError(
                 f"site {self.name!r} does not observe stream {stream!r}"
-            ) from None
-        sketch.update(value, weight)
+            )
+        if self._ingestors is not None:
+            import numpy as np
+
+            self._ingestors[stream].ingest(
+                np.asarray([value], dtype=np.int64),
+                np.asarray([weight], dtype=np.float64),
+            )
+            return
+        self._sketches[stream].update(value, weight)
 
     def observe_bulk(self, stream: str, values, weights=None) -> None:
         """Absorb a batch of local elements."""
-        try:
-            sketch = self._sketches[stream]
-        except KeyError:
+        if stream not in self._sketches:
             raise QueryError(
                 f"site {self.name!r} does not observe stream {stream!r}"
-            ) from None
-        sketch.update_bulk(values, weights)
+            )
+        if self._ingestors is not None:
+            self._ingestors[stream].ingest(values, weights)
+            return
+        self._sketches[stream].update_bulk(values, weights)
 
     def close_round(self) -> list[SketchReport]:
         """Finish the current reporting round and emit one report per stream.
@@ -101,6 +140,9 @@ class SketchSite:
         next round reports only new traffic.
         """
         self._round += 1
+        if self._ingestors is not None:
+            for stream, ingestor in self._ingestors.items():
+                self._sketches[stream] = ingestor.merged()
         with _TRACER.span(
             "dist.round", site=self.name, round=self._round, mode=self.mode
         ) if _TRACER.enabled else nullcontext() as sp:
@@ -112,6 +154,9 @@ class SketchSite:
                 self._sketches = {
                     stream: self.schema.create_sketch() for stream in self._sketches
                 }
+                if self._ingestors is not None:
+                    for ingestor in self._ingestors.values():
+                        ingestor.reset()
             if sp is not None:
                 sp.set(
                     reports=len(reports),
@@ -125,8 +170,21 @@ class SketchSite:
             )
         return reports
 
+    def close(self) -> None:
+        """Shut down parallel-ingest executor resources, if any (idempotent)."""
+        if self._ingestors is not None:
+            for ingestor in self._ingestors.values():
+                ingestor.close()
+
+    def __enter__(self) -> "SketchSite":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return (
             f"SketchSite(name={self.name!r}, streams={self.streams}, "
-            f"mode={self.mode!r}, round={self._round})"
+            f"mode={self.mode!r}, round={self._round}, "
+            f"parallel_workers={self.parallel_workers})"
         )

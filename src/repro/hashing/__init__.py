@@ -10,6 +10,7 @@ from .prime_field import MERSENNE_PRIME_31, poly_eval, poly_eval_many
 from .kwise import KWiseHashFamily
 from .pairwise import PairwiseBucketHash
 from .fourwise import FourWiseSignFamily
+from .bulk import BulkHashCache, coalesce_updates
 
 __all__ = [
     "MERSENNE_PRIME_31",
@@ -18,4 +19,6 @@ __all__ = [
     "KWiseHashFamily",
     "PairwiseBucketHash",
     "FourWiseSignFamily",
+    "BulkHashCache",
+    "coalesce_updates",
 ]

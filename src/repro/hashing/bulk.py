@@ -1,0 +1,141 @@
+"""Batch coalescing for bulk sketch updates (the fused-kernel front end).
+
+A hash sketch is a linear projection, so a batch of updates
+``(v_1, w_1) ... (v_n, w_n)`` is interchangeable with the coalesced batch
+``(u_1, m_1) ... (u_k, m_k)`` where ``u_j`` are the *distinct* values and
+``m_j`` the summed weights of their occurrences.  Coalescing before
+hashing means each Carter--Wegman polynomial is evaluated once per
+distinct value instead of once per stream element — on duplicate-heavy
+(Zipf-like) batches that removes most of the mod-p arithmetic, which
+dominates bulk-update cost.
+
+:class:`BulkHashCache` extends the trick across a dyadic hierarchy
+(:class:`repro.sketches.DyadicSketchSchema`).  Level ``l`` of the
+hierarchy ingests ``v >> l``, and the shift preserves sort order, so the
+coalesced representation of level ``l + 1`` follows from level ``l`` by
+shifting the distinct values right once and merging newly-adjacent
+duplicates with a segment sum — **no re-scan of the original batch and no
+re-hash of raw elements**.  Each level's hash families (independently
+seeded per level) then run over at most ``min(k, domain >> l)`` distinct
+interval ids.
+
+Exactness note: coalescing reorders floating-point additions relative to
+element-order ingestion.  Sums of integer-valued (or dyadic-rational)
+float64 weights are exact, so counters are bit-identical in that regime;
+for arbitrary float weights results agree to normal float64 rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["BulkHashCache", "coalesce_updates"]
+
+
+def coalesce_updates(
+    values: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coalesce an update batch into (sorted distinct values, summed masses).
+
+    ``weights`` defaults to all-ones.  Returns ``(uniques, masses)`` where
+    ``uniques`` is ascending ``int64`` and ``masses[j]`` is the float64 sum
+    of the weights of every occurrence of ``uniques[j]``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if weights is None:
+        weights = np.ones(values.size, dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != values.shape:
+            raise ParameterError("weights must have the same shape as values")
+    if values.size == 0:
+        return values, weights
+    uniques, inverse = np.unique(values, return_inverse=True)
+    masses = np.bincount(inverse, weights=weights, minlength=uniques.size)
+    return uniques, masses
+
+
+def _shift_coalesced(
+    values: np.ndarray, masses: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One dyadic step: halve coalesced values, merging newly-equal pairs.
+
+    ``values >> 1`` keeps a sorted array sorted, so duplicates after the
+    shift are adjacent and a boundary mask + segment sum coalesces them.
+    """
+    if values.size == 0:
+        return values, masses
+    shifted = values >> 1
+    boundaries = np.empty(shifted.size, dtype=np.bool_)
+    boundaries[0] = True
+    np.not_equal(shifted[1:], shifted[:-1], out=boundaries[1:])
+    segment = np.cumsum(boundaries, dtype=np.int64) - 1
+    merged_values = shifted[boundaries]
+    merged_masses = np.bincount(
+        segment, weights=masses, minlength=merged_values.size
+    )
+    return merged_values, merged_masses
+
+
+class BulkHashCache:
+    """Coalesced views of one update batch at every dyadic level.
+
+    Build once per batch, then feed ``level(l)`` to the level-``l`` sketch:
+    the distinct interval ids and their summed masses at that level.
+    Levels are derived lazily and memoised, each from the previous by a
+    single shift-and-merge pass over the already-coalesced arrays.
+    """
+
+    def __init__(
+        self, values: np.ndarray, weights: np.ndarray | None = None
+    ) -> None:
+        values = np.asarray(values, dtype=np.int64)
+        if weights is None:
+            weights = np.ones(values.size, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != values.shape:
+                raise ParameterError("weights must have the same shape as values")
+        self._num_elements = int(values.size)
+        self._total_absolute_mass = float(np.abs(weights).sum())
+        self._num_deletions = int(np.count_nonzero(weights < 0))
+        self._levels: list[tuple[np.ndarray, np.ndarray]] = [
+            coalesce_updates(values, weights)
+        ]
+
+    @property
+    def num_elements(self) -> int:
+        """Number of raw (uncoalesced) elements in the batch."""
+        return self._num_elements
+
+    @property
+    def num_deletions(self) -> int:
+        """Number of negative-weight elements in the raw batch."""
+        return self._num_deletions
+
+    @property
+    def total_absolute_mass(self) -> float:
+        """``sum(|weight|)`` of the raw batch (the stream-size increment)."""
+        return self._total_absolute_mass
+
+    def level(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        """Coalesced ``(distinct interval ids, summed masses)`` at ``level``.
+
+        Level 0 is the raw value domain; level ``l`` aggregates each value
+        ``v`` into interval ``v >> l``.  Ids are ascending ``int64``,
+        masses ``float64``.
+        """
+        if level < 0:
+            raise ParameterError(f"level must be >= 0, got {level}")
+        while len(self._levels) <= level:
+            self._levels.append(_shift_coalesced(*self._levels[-1]))
+        return self._levels[level]
+
+    def __repr__(self) -> str:
+        uniques = self._levels[0][0].size
+        return (
+            f"BulkHashCache(elements={self._num_elements}, "
+            f"distinct={uniques}, levels_cached={len(self._levels)})"
+        )

@@ -1,0 +1,209 @@
+"""CLI for the parallel ingest subsystem.
+
+Prove serial-vs-sharded exactness on a seeded stream (exit 1 on any
+counter or query mismatch)::
+
+    python -m repro.parallel selfcheck --workers 4 --modes thread,process
+
+Measure ingest throughput as the worker count scales::
+
+    python -m repro.parallel bench --workers-list 1,2,4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..errors import ReproError
+
+_DEFAULT_MODES = "serial,thread,process"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel",
+        description="Self-check and benchmark the sharded parallel ingest path.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="serial-vs-sharded equality on a seeded stream (exit 1 on mismatch)",
+    )
+    selfcheck.add_argument("--workers", type=int, default=4)
+    selfcheck.add_argument(
+        "--modes",
+        default=_DEFAULT_MODES,
+        help=f"comma-separated ingest modes to check (default: {_DEFAULT_MODES})",
+    )
+    selfcheck.add_argument("--domain", type=int, default=1 << 12)
+    selfcheck.add_argument("--elements", type=int, default=20_000)
+    selfcheck.add_argument("--seed", type=int, default=7)
+    selfcheck.add_argument(
+        "--synopsis", default="skimmed", choices=("skimmed", "agms", "hash")
+    )
+
+    bench = sub.add_parser(
+        "bench", help="ingest-throughput table across worker counts"
+    )
+    bench.add_argument(
+        "--workers-list",
+        default="1,2,4",
+        help="comma-separated worker counts to time (default: 1,2,4)",
+    )
+    bench.add_argument("--mode", default="thread", choices=("thread", "process"))
+    bench.add_argument("--domain", type=int, default=1 << 14)
+    bench.add_argument("--elements", type=int, default=200_000)
+    bench.add_argument("--batch", type=int, default=8_192)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--synopsis", default="hash", choices=("skimmed", "agms", "hash")
+    )
+    return parser
+
+
+def _seeded_stream(domain: int, elements: int, seed: int):
+    """Deterministic values + integer-valued weights (5% deletions)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, size=elements, dtype=np.int64)
+    weights = np.ones(elements, dtype=np.float64)
+    weights[rng.random(elements) < 0.05] = -1.0
+    return values, weights
+
+
+def _counters_equal(left, right) -> bool:
+    """Bit-level equality of two synopses via their serialised states."""
+    import numpy as np
+
+    from ..sketches.serialize import sketch_state
+
+    left_state, right_state = sketch_state(left), sketch_state(right)
+    if left_state.keys() != right_state.keys():
+        return False
+    for key, left_value in left_state.items():
+        right_value = right_state[key]
+        if isinstance(left_value, np.ndarray):
+            if not np.array_equal(left_value, right_value):
+                return False
+        elif left_value != right_value:
+            return False
+    return True
+
+
+def _selfcheck(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from ..core.config import SketchParameters
+    from ..parallel import ParallelStreamEngine
+    from ..streams.engine import StreamEngine
+    from ..streams.query import JoinCountQuery, PointQuery, SelfJoinQuery
+
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    parameters = SketchParameters(width=128, depth=5)
+    values, weights = _seeded_stream(args.domain, args.elements, args.seed)
+    batches = np.array_split(np.arange(values.size), 8)
+
+    serial = StreamEngine(
+        args.domain, parameters, synopsis=args.synopsis, seed=args.seed
+    )
+    for name in ("f", "g"):
+        serial.register_stream(name)
+        for batch in batches:
+            serial.process_bulk(name, values[batch], weights[batch])
+
+    queries = [JoinCountQuery("f", "g"), SelfJoinQuery("f")]
+    if args.synopsis != "agms":
+        queries.append(PointQuery("f", int(values[0])))
+    serial_answers = [serial.answer(q) for q in queries]
+
+    failures = 0
+    for mode in modes:
+        with ParallelStreamEngine(
+            args.domain,
+            parameters,
+            synopsis=args.synopsis,
+            seed=args.seed,
+            workers=args.workers,
+            mode=mode,
+        ) as engine:
+            for name in ("f", "g"):
+                engine.register_stream(name)
+                for batch in batches:
+                    engine.process_bulk(name, values[batch], weights[batch])
+            for stream in ("f", "g"):
+                if _counters_equal(
+                    serial.synopsis_for(stream), engine.synopsis_for(stream)
+                ):
+                    print(f"[{mode}] stream {stream!r}: counters identical")
+                else:
+                    print(f"[{mode}] stream {stream!r}: COUNTER MISMATCH")
+                    failures += 1
+            for query, expected in zip(queries, serial_answers):
+                got = engine.answer(query)
+                label = type(query).__name__
+                if got == expected:
+                    print(f"[{mode}] {label}: {got:g} == serial")
+                else:
+                    print(f"[{mode}] {label}: {got:g} != serial {expected:g}")
+                    failures += 1
+    if failures:
+        print(f"selfcheck FAILED: {failures} mismatch(es)")
+        return 1
+    print(f"selfcheck OK: {len(modes)} mode(s) x {args.workers} workers")
+    return 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from ..core.config import SketchParameters
+    from ..parallel import ParallelStreamEngine
+
+    worker_counts = [int(w) for w in args.workers_list.split(",") if w.strip()]
+    parameters = SketchParameters(width=256, depth=7)
+    values, weights = _seeded_stream(args.domain, args.elements, args.seed)
+    splits = np.array_split(
+        np.arange(values.size), max(1, values.size // args.batch)
+    )
+
+    print(f"mode={args.mode} synopsis={args.synopsis} "
+          f"elements={args.elements} batch~{args.batch}")
+    print(f"{'workers':>8} {'seconds':>10} {'updates/sec':>14}")
+    for workers in worker_counts:
+        with ParallelStreamEngine(
+            args.domain,
+            parameters,
+            synopsis=args.synopsis,
+            seed=args.seed,
+            workers=workers,
+            mode=args.mode,
+        ) as engine:
+            engine.register_stream("f")
+            start = time.perf_counter()
+            for batch in splits:
+                engine.process_bulk("f", values[batch], weights[batch])
+            engine.flush()
+            elapsed = time.perf_counter() - start
+        rate = args.elements / elapsed if elapsed else float("inf")
+        print(f"{workers:>8} {elapsed:>10.4f} {rate:>14,.0f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.parallel``."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "selfcheck":
+            return _selfcheck(args)
+        return _bench(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,410 @@
+"""Sharded parallel ingestion with exact lazy merge.
+
+A sketch is a *linear* projection of the stream's frequency vector, so
+splitting a stream across N shard sketches built from the **same schema**
+and summing their counters afterwards reproduces the serial sketch
+exactly — shard-and-merge parallelism is exact, not approximate (the
+property the paper's distributed setting is built on, applied here to
+intra-process parallelism).
+
+:class:`ShardedIngestor` owns N shard synopses plus an execution strategy:
+
+* ``"serial"`` — no executor; one shard, plain ``update_bulk`` (the
+  parallelism-off reference path, overhead-free by construction);
+* ``"thread"`` — a persistent :class:`concurrent.futures.ThreadPoolExecutor`;
+  shard updates run concurrently in-process (NumPy kernels release the
+  GIL for parts of the work);
+* ``"process"`` — one single-worker :class:`concurrent.futures.ProcessPoolExecutor`
+  *per shard*, so each shard's batches always land in the same process.
+  Workers receive a JSON schema spec once (schema-only construction —
+  seeded randomness rebuilds identical hash families), accumulate their
+  shard sketch locally, and ship counters back only at flush time.
+
+Batches are partitioned by a deterministic multiplicative hash of the
+value, so a given value always lands in the same shard regardless of
+batch boundaries, worker count stays the only knob, and merge order is
+fixed — with integer (or dyadic-rational) weights the merged counters are
+bit-identical to serial ingestion.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
+from typing import Any, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..obs import METRICS as _METRICS
+from ..sketches.serialize import (
+    AnySketch,
+    merge_sketch_state,
+    sketch_from_spec,
+    sketch_spec,
+    sketch_state,
+)
+from ..trace import TRACER as _TRACER
+
+__all__ = ["INGEST_MODES", "ShardedIngestor", "partition_batch"]
+
+#: Execution strategies :class:`ShardedIngestor` supports.
+INGEST_MODES = ("serial", "thread", "process")
+
+# Fibonacci-hash multiplier (2**64 / phi): spreads consecutive values
+# uniformly across shards while keeping the value -> shard map pure.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+class _SchemaLike(Protocol):
+    """Any sketch schema: all we need is a fresh-synopsis factory."""
+
+    def create_sketch(self) -> AnySketch:
+        """A fresh empty synopsis bound to this schema."""
+        ...
+
+
+def partition_batch(
+    values: np.ndarray, weights: np.ndarray | None, workers: int
+) -> list[tuple[np.ndarray, np.ndarray | None] | None]:
+    """Split a batch into per-shard sub-batches by hashing each value.
+
+    Returns one ``(values, weights)`` pair per shard (``None`` for shards
+    that receive nothing from this batch).  The map is a pure function of
+    the value — independent of batch boundaries and ingestion order — so
+    re-chunking a stream never changes which shard accumulates a value.
+    """
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return [(values, weights)]
+    mixed = (values.astype(np.uint64) * _GOLDEN) >> np.uint64(33)
+    shard_ids = (mixed % np.uint64(workers)).astype(np.int64)
+    parts: list[tuple[np.ndarray, np.ndarray | None] | None] = []
+    for shard in range(workers):
+        mask = shard_ids == shard
+        count = int(np.count_nonzero(mask))
+        if not count:
+            parts.append(None)
+        elif count == values.size:
+            parts.append((values, weights))
+        else:
+            parts.append(
+                (values[mask], None if weights is None else weights[mask])
+            )
+    return parts
+
+
+# -- process-mode worker side --------------------------------------------------
+#
+# These run inside the shard's dedicated worker process.  The accumulated
+# shard sketch lives in module state keyed by its schema spec; because
+# each ShardedIngestor gives every shard its own single-process executor,
+# one key sees every batch of exactly one shard.
+
+_WORKER_SKETCHES: dict[str, AnySketch] = {}
+
+
+def _worker_ingest(
+    spec_json: str, values: np.ndarray, weights: np.ndarray | None
+) -> None:
+    """Fold one sub-batch into this process's local shard sketch."""
+    sketch = _WORKER_SKETCHES.get(spec_json)
+    if sketch is None:
+        sketch = sketch_from_spec(json.loads(spec_json))
+        _WORKER_SKETCHES[spec_json] = sketch
+    sketch.update_bulk(values, weights)
+
+
+def _worker_collect(spec_json: str) -> dict[str, Any] | None:
+    """Return (and clear) this process's accumulated shard counters."""
+    sketch = _WORKER_SKETCHES.pop(spec_json, None)
+    return None if sketch is None else sketch_state(sketch)
+
+
+# -- execution strategies ------------------------------------------------------
+
+
+class _SerialStrategy:
+    """No executor: apply each sub-batch inline (the 1-worker fast path)."""
+
+    def ingest(
+        self,
+        shards: list[AnySketch],
+        parts: Sequence[tuple[np.ndarray, np.ndarray | None] | None],
+    ) -> None:
+        """Apply each shard's sub-batch directly."""
+        for shard, part in zip(shards, parts):
+            if part is not None:
+                shard.update_bulk(part[0], part[1])
+
+    def flush(self, shards: list[AnySketch]) -> list[AnySketch]:
+        """Nothing pending: shards are always current."""
+        return shards
+
+    def close(self) -> None:
+        """Nothing to shut down."""
+
+
+class _ThreadStrategy:
+    """Persistent thread pool; shard updates run concurrently in-process."""
+
+    def __init__(self, workers: int) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+
+    def ingest(
+        self,
+        shards: list[AnySketch],
+        parts: Sequence[tuple[np.ndarray, np.ndarray | None] | None],
+    ) -> None:
+        """Submit one update task per non-empty shard and wait for all."""
+        futures = [
+            self._executor.submit(shards[i].update_bulk, part[0], part[1])
+            for i, part in enumerate(parts)
+            if part is not None
+        ]
+        _collect_results(futures)
+
+    def flush(self, shards: list[AnySketch]) -> list[AnySketch]:
+        """Every batch was awaited at ingest time: shards are current."""
+        return shards
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+
+class _ProcessStrategy:
+    """One single-worker process pool per shard (shard/process affinity).
+
+    The parent's shard sketches stay empty until :meth:`flush`, which
+    collects each worker's accumulated counters and merges them in.
+    """
+
+    def __init__(self, workers: int, spec_json: str) -> None:
+        self._spec_json = spec_json
+        self._executors: list[Executor | None] = [None] * workers
+
+    def _executor_for(self, shard: int) -> Executor:
+        executor = self._executors[shard]
+        if executor is None:
+            executor = ProcessPoolExecutor(max_workers=1)
+            self._executors[shard] = executor
+        return executor
+
+    def ingest(
+        self,
+        shards: list[AnySketch],
+        parts: Sequence[tuple[np.ndarray, np.ndarray | None] | None],
+    ) -> None:
+        """Ship each shard's sub-batch to its dedicated worker process."""
+        futures = [
+            self._executor_for(i).submit(
+                _worker_ingest, self._spec_json, part[0], part[1]
+            )
+            for i, part in enumerate(parts)
+            if part is not None
+        ]
+        _collect_results(futures)
+
+    def flush(self, shards: list[AnySketch]) -> list[AnySketch]:
+        """Pull accumulated counters out of every live worker and merge."""
+        current = list(shards)
+        for i, executor in enumerate(self._executors):
+            if executor is None:
+                continue
+            state = executor.submit(_worker_collect, self._spec_json).result()
+            if state is not None:
+                current[i] = merge_sketch_state(current[i], state)
+        return current
+
+    def close(self) -> None:
+        """Shut every per-shard pool down (idempotent)."""
+        for executor in self._executors:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        self._executors = [None] * len(self._executors)
+
+
+def _collect_results(futures: list["Future[None]"]) -> None:
+    """Wait for every task; re-raise the first failure after all settle."""
+    first_error: BaseException | None = None
+    for future in futures:
+        try:
+            future.result()
+        except BaseException as error:  # propagate DomainError etc. faithfully
+            if first_error is None:
+                first_error = error
+    if first_error is not None:
+        raise first_error
+
+
+# -- the ingestor --------------------------------------------------------------
+
+
+class ShardedIngestor:
+    """Partition batches across N shard synopses; merge exactly on demand.
+
+    Parameters
+    ----------
+    schema:
+        Any sketch schema (hash / dyadic / AGMS / skimmed); every shard is
+        ``schema.create_sketch()``, so shards — and therefore the merge —
+        share one set of hash/sign families.
+    workers:
+        Number of shards (= executor parallelism).  ``workers=1`` always
+        uses the serial no-executor path regardless of ``mode``.
+    mode:
+        ``"serial"`` | ``"thread"`` | ``"process"`` — see the module
+        docstring for the trade-offs.
+
+    The merged synopsis is computed lazily (:meth:`merged`) and cached
+    behind a dirty flag, so interleaving ingestion and queries only pays
+    the counter sum when new data actually arrived.
+    """
+
+    def __init__(
+        self, schema: _SchemaLike, workers: int = 1, mode: str = "thread"
+    ) -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if mode not in INGEST_MODES:
+            raise ParameterError(
+                f"mode must be one of {INGEST_MODES}, got {mode!r}"
+            )
+        self._schema = schema
+        self._workers = workers
+        self._mode = mode
+        self._shards: list[AnySketch] = [
+            schema.create_sketch() for _ in range(workers)
+        ]
+        self._strategy = self._make_strategy()
+        self._merged: AnySketch | None = None
+        self._dirty = False
+        self._batches = 0
+        self._elements = 0
+
+    def _make_strategy(self) -> "_SerialStrategy | _ThreadStrategy | _ProcessStrategy":
+        if self._workers == 1 or self._mode == "serial":
+            return _SerialStrategy()
+        if self._mode == "thread":
+            return _ThreadStrategy(self._workers)
+        spec_json = json.dumps(sketch_spec(self._shards[0]), sort_keys=True)
+        return _ProcessStrategy(self._workers, spec_json)
+
+    @property
+    def workers(self) -> int:
+        """Number of shard synopses (= maximum ingest parallelism)."""
+        return self._workers
+
+    @property
+    def mode(self) -> str:
+        """The execution strategy name this ingestor runs."""
+        return self._mode
+
+    @property
+    def batches_ingested(self) -> int:
+        """Number of non-empty batches accepted so far."""
+        return self._batches
+
+    @property
+    def elements_ingested(self) -> int:
+        """Total elements accepted so far."""
+        return self._elements
+
+    def ingest(
+        self, values: np.ndarray, weights: np.ndarray | None = None
+    ) -> None:
+        """Partition one batch across the shards and apply it.
+
+        Synchronous: returns once every shard has folded its sub-batch in
+        (worker-side for ``"process"`` mode).  Weight validation follows
+        ``update_bulk``; a bad value aborts the offending shard's whole
+        sub-batch.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != values.shape:
+                raise ParameterError("weights must have the same shape as values")
+        if values.size == 0:
+            return
+        parts = partition_batch(values, weights, self._workers)
+        with _TRACER.span(
+            "parallel.ingest",
+            elements=int(values.size),
+            workers=self._workers,
+            mode=self._mode,
+        ) if _TRACER.enabled else nullcontext():
+            self._strategy.ingest(self._shards, parts)
+        self._dirty = True
+        self._merged = None
+        self._batches += 1
+        self._elements += int(values.size)
+        if _METRICS.enabled:
+            _METRICS.count("parallel.batches")
+            _METRICS.count("parallel.elements", int(values.size))
+            _METRICS.gauge("parallel.shards", float(self._workers))
+            for shard, part in enumerate(parts):
+                depth = 0 if part is None else int(part[0].size)
+                _METRICS.gauge(f"parallel.shard.{shard}.queue_depth", float(depth))
+
+    def merged(self) -> AnySketch:
+        """The exact merged synopsis of everything ingested so far.
+
+        Lazy and cached: the counter sum (and, in ``"process"`` mode, the
+        worker collect) only happens when new batches arrived since the
+        last call.  With ``workers=1`` this is the live shard itself —
+        zero merge cost, the parallelism-off reference path.
+        """
+        if self._merged is not None and not self._dirty:
+            return self._merged
+        with _METRICS.timer(
+            "parallel.merge.seconds"
+        ) if _METRICS.enabled else nullcontext():
+            with _TRACER.span(
+                "parallel.merge", workers=self._workers, mode=self._mode
+            ) if _TRACER.enabled else nullcontext():
+                self._shards = self._strategy.flush(self._shards)
+                merged = self._shards[0]
+                for shard in self._shards[1:]:
+                    merged = merged.merged_with(shard)
+        if _METRICS.enabled:
+            _METRICS.count("parallel.merges")
+        self._merged = merged
+        self._dirty = False
+        return merged
+
+    def reset(self) -> None:
+        """Drop all accumulated state (fresh shards, empty workers)."""
+        self._shards = self._strategy.flush(self._shards)  # drain workers
+        self._shards = [self._schema.create_sketch() for _ in range(self._workers)]
+        self._merged = None
+        self._dirty = False
+        self._batches = 0
+        self._elements = 0
+
+    def close(self) -> None:
+        """Shut down executor resources (idempotent).
+
+        Pending worker-side state is folded into the parent-side shards
+        first, so :meth:`merged` keeps working after close; further
+        :meth:`ingest` calls on executor-backed modes are an error.
+        """
+        self._shards = self._strategy.flush(self._shards)
+        self._strategy.close()
+
+    def __enter__(self) -> "ShardedIngestor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIngestor(workers={self._workers}, mode={self._mode!r}, "
+            f"batches={self._batches}, elements={self._elements})"
+        )

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import IncompatibleSketchError, ParameterError
+from ..hashing.bulk import BulkHashCache
 from ..obs import METRICS as _METRICS
 from ..trace import TRACER as _TRACER
 from .base import StreamSynopsis
@@ -170,11 +171,37 @@ class DyadicHashSketch(StreamSynopsis):
             sketch.update(value >> level, weight)
 
     def update_bulk(self, values: np.ndarray, weights: np.ndarray | None = None) -> None:
+        """Fold one batch into every level of the hierarchy.
+
+        Coalesces the batch once (:class:`repro.hashing.BulkHashCache`)
+        and derives each level's distinct-interval view by a shift-and-
+        merge over the previous level, so the per-level hash families run
+        over at most ``min(k, domain >> level)`` distinct ids instead of
+        re-hashing all ``n`` raw elements ``num_levels`` times.
+        """
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
             return
-        for level, sketch in enumerate(self._levels):
-            sketch.update_bulk(values >> level, weights)
+        cache = BulkHashCache(values, weights)
+        observed = cache.total_absolute_mass
+        with _TRACER.span(
+            "sketch.update_bulk",
+            elements=int(values.size),
+            levels=len(self._levels),
+        ) if _TRACER.enabled else nullcontext():
+            for level, sketch in enumerate(self._levels):
+                level_values, level_masses = cache.level(level)
+                sketch.update_coalesced(level_values, level_masses, observed)
+        if _METRICS.enabled:
+            # Same totals as per-level HashSketch.update_bulk calls: each
+            # level is a real hash-sketch update of the whole batch.
+            num_levels = len(self._levels)
+            _METRICS.count("sketch.update.elements", int(values.size) * num_levels)
+            _METRICS.count("sketch.update.batches", num_levels)
+            if cache.num_deletions:
+                _METRICS.count(
+                    "sketch.update.deletions", cache.num_deletions * num_levels
+                )
 
     def size_in_counters(self) -> int:
         return sum(s.size_in_counters() for s in self._levels)
@@ -269,8 +296,16 @@ class DyadicHashSketch(StreamSynopsis):
         """
         values = np.asarray(values, dtype=np.int64)
         frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.shape != values.shape:
+            raise ParameterError("frequencies must have the same shape as values")
+        if values.size == 0:
+            return
+        cache = BulkHashCache(values, frequencies)
         for level, sketch in enumerate(self._levels):
-            sketch.subtract_frequencies(values >> level, frequencies)
+            level_values, level_masses = cache.level(level)
+            # observed_mass=0.0: subtraction removes already-counted mass,
+            # so the tracked stream size N must not change.
+            sketch.update_coalesced(level_values, -level_masses, 0.0)
 
     def merged_with(self, other: "DyadicHashSketch") -> "DyadicHashSketch":
         """Hierarchy of the concatenation of both underlying streams."""

@@ -37,12 +37,20 @@ import numpy as np
 
 from ..errors import DomainError, IncompatibleSketchError, ParameterError
 from ..hashing import FourWiseSignFamily, PairwiseBucketHash
+from ..hashing.bulk import coalesce_updates
 from ..obs import METRICS as _METRICS
 from ..trace import TRACER as _TRACER
 from .base import StreamSynopsis
 
 if TYPE_CHECKING:  # type-only: repro.streams imports repro.sketches at runtime
     from ..streams.model import FrequencyVector
+
+# Auto-precompute ceiling: hash/sign lookup tables are built on demand
+# (all_point_estimates, SKIMDENSE flat scans) only while the table size
+# ``depth * domain_size`` stays under this many entries (int32 buckets +
+# int8 signs => at most ~20 MiB).  Larger domains keep evaluating the
+# Carter--Wegman polynomials directly; call ``precompute()`` to override.
+AUTO_PRECOMPUTE_MAX_ENTRIES = 1 << 22
 
 
 class HashSketchSchema:
@@ -79,6 +87,75 @@ class HashSketchSchema:
         rng = np.random.default_rng(seed)
         self.buckets = PairwiseBucketHash(depth, width, rng)
         self.signs = FourWiseSignFamily(depth, rng)
+        self._bucket_table: np.ndarray | None = None
+        self._sign_table: np.ndarray | None = None
+
+    # -- precomputed hash/sign tables -----------------------------------------
+
+    @property
+    def precomputed(self) -> bool:
+        """True once the full-domain hash/sign lookup tables are built."""
+        return self._bucket_table is not None
+
+    def precompute(self) -> None:
+        """Materialise ``(depth, domain_size)`` bucket/sign lookup tables.
+
+        After this, every bulk hash evaluation over in-domain values is a
+        table gather instead of mod-p polynomial arithmetic — the
+        ``precompute(domain)`` small-domain cache used by point
+        estimation, ``all_point_estimates`` and SKIMDENSE flat
+        extraction.  Tables are exact (same polynomial evaluations, made
+        once); buckets are stored as ``int32`` and signs as ``int8`` so a
+        table of ``AUTO_PRECOMPUTE_MAX_ENTRIES`` entries stays ~20 MiB.
+        Idempotent.
+        """
+        if self._bucket_table is not None:
+            return
+        domain = np.arange(self.domain_size, dtype=np.int64)
+        self._bucket_table = self.buckets.buckets(domain).astype(np.int32)
+        self._sign_table = self.signs.signs(domain).astype(np.int8)
+
+    def ensure_precomputed(
+        self, max_entries: int = AUTO_PRECOMPUTE_MAX_ENTRIES
+    ) -> bool:
+        """Build the lookup tables iff the domain is small enough.
+
+        Returns True when the tables are available (already built or just
+        built), False when ``depth * domain_size > max_entries`` and the
+        schema stays in polynomial-evaluation mode.
+        """
+        if self._bucket_table is not None:
+            return True
+        if self.depth * self.domain_size > max_entries:
+            return False
+        self.precompute()
+        return True
+
+    def clear_precomputed(self) -> None:
+        """Drop the lookup tables (frees memory; evaluation stays correct)."""
+        self._bucket_table = None
+        self._sign_table = None
+
+    def bulk_tables(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(depth, n)`` bucket indices and ±1 signs for ``values``.
+
+        Uses the precomputed lookup tables when they exist and every value
+        is in-domain (out-of-domain inputs — possible on the unchecked
+        estimation path — fall back to direct polynomial evaluation, which
+        is defined for any integer).  Either path returns bit-identical
+        hashes; only the dtypes differ (table hits return ``int32``
+        buckets / ``int8`` signs, both exact under NumPy's promotion).
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if (
+            self._bucket_table is not None
+            and self._sign_table is not None
+            and values.size
+            and int(values.min()) >= 0
+            and int(values.max()) < self.domain_size
+        ):
+            return self._bucket_table[:, values], self._sign_table[:, values]
+        return self.buckets.buckets(values), self.signs.signs(values)
 
     def create_sketch(self) -> "HashSketch":
         """A fresh empty sketch bound to this schema."""
@@ -115,6 +192,7 @@ class HashSketch(StreamSynopsis):
         self._counters = np.zeros((schema.depth, schema.width), dtype=np.float64)
         self._absolute_mass = 0.0
         self._table_index = np.arange(schema.depth, dtype=np.int64)
+        self._flat_offsets = self._table_index * np.int64(schema.width)
 
     # -- synopsis contract ---------------------------------------------------
 
@@ -210,8 +288,7 @@ class HashSketch(StreamSynopsis):
         values = np.asarray(values, dtype=np.int64)
         if values.size == 0:
             return np.zeros(0, dtype=np.float64)
-        buckets = self._schema.buckets.buckets(values)
-        signs = self._schema.signs.signs(values)
+        buckets, signs = self._schema.bulk_tables(values)
         per_table = self._counters[self._table_index[:, None], buckets] * signs
         return np.median(per_table, axis=0)
 
@@ -226,7 +303,10 @@ class HashSketch(StreamSynopsis):
         Linear in ``domain_size * depth`` — the cost the dyadic skim
         optimisation of Section 4.2 exists to avoid for huge domains, but
         entirely practical (and exact in coverage) for materialisable ones.
+        Warms the schema's hash/sign lookup tables first (small domains),
+        so repeated full scans pay the polynomial evaluation only once.
         """
+        self._schema.ensure_precomputed()
         return self.point_estimates(np.arange(self.domain_size, dtype=np.int64))
 
     # -- join estimation ---------------------------------------------------------
@@ -303,16 +383,60 @@ class HashSketch(StreamSynopsis):
         result._absolute_mass = self._absolute_mass
         return result
 
+    def update_coalesced(
+        self,
+        values: np.ndarray,
+        masses: np.ndarray,
+        observed_mass: float | None = None,
+    ) -> None:
+        """Ingest a pre-coalesced batch: distinct ``values``, summed ``masses``.
+
+        Kernel entry point for callers that coalesce one batch and feed
+        many sketches (dyadic hierarchies, parallel shard workers) —
+        typically via :class:`repro.hashing.BulkHashCache`.
+        ``observed_mass`` is ``sum(|weight|)`` over the *original* batch
+        (default: ``sum(|masses|)``); passing it keeps
+        :attr:`absolute_mass` identical to element-wise ingestion even
+        when coalescing cancels opposite-signed weights.  Records no
+        metrics or spans — the caller owns instrumentation.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        masses = np.asarray(masses, dtype=np.float64)
+        if masses.shape != values.shape:
+            raise ParameterError("masses must have the same shape as values")
+        if values.size == 0:
+            return
+        self._check_value(int(values.min()))
+        self._check_value(int(values.max()))
+        self._apply_point_masses(values, masses, coalesced=True)
+        self._absolute_mass += (
+            float(np.abs(masses).sum()) if observed_mass is None
+            else float(observed_mass)
+        )
+
     # -- internals -------------------------------------------------------------------
 
-    def _apply_point_masses(self, values: np.ndarray, masses: np.ndarray) -> None:
-        """Add ``masses[k] * xi_i(values[k])`` into bucket ``h_i(values[k])``."""
-        for table in range(self._schema.depth):
-            buckets = self._schema.buckets.buckets_one(table, values)
-            signed = masses * self._schema.signs.signs_one(table, values)
-            self._counters[table] += np.bincount(
-                buckets, weights=signed, minlength=self._schema.width
-            )
+    def _apply_point_masses(
+        self, values: np.ndarray, masses: np.ndarray, *, coalesced: bool = False
+    ) -> None:
+        """Add ``masses[k] * xi_i(values[k])`` into bucket ``h_i(values[k])``.
+
+        Fused kernel: duplicates are coalesced once (``np.unique`` +
+        segment sum — skipped when the caller passes already-distinct
+        values), all ``depth`` hash/sign functions are evaluated in a
+        single vectorised pass (lookup tables when precomputed), and the
+        whole ``(depth, n)`` update lands with one flat ``bincount``
+        scatter-add instead of a Python loop over tables.
+        """
+        if not coalesced:
+            values, masses = coalesce_updates(values, masses)
+        if values.size == 0:
+            return
+        buckets, signs = self._schema.bulk_tables(values)
+        flat = (buckets + self._flat_offsets[:, None]).ravel()
+        self._counters += np.bincount(
+            flat, weights=(signs * masses).ravel(), minlength=self._counters.size
+        ).reshape(self._schema.depth, self._schema.width)
 
     def _check_value(self, value: int) -> None:
         if not 0 <= value < self.domain_size:

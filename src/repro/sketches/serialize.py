@@ -191,6 +191,107 @@ def sketch_from_state(state: dict[str, Any]) -> AnySketch:
     return restorers[kind](state)
 
 
+def sketch_spec(sketch: AnySketch) -> dict[str, Any]:
+    """Schema-only construction recipe for a sketch: parameters, no counters.
+
+    A spec is tiny and JSON-safe, which makes it the right thing to ship
+    to worker processes: the worker rebuilds an *empty* join-compatible
+    sketch via :func:`sketch_from_spec` (seeded randomness makes the hash
+    families identical) and accumulates locally — only counter state ever
+    travels back.
+    """
+    if isinstance(sketch, HashSketch):
+        return {**_schema_fields(sketch), "kind": _KIND_HASH}
+    if isinstance(sketch, AGMSSketch):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": _KIND_AGMS,
+            "averaging": sketch.schema.averaging,
+            "median": sketch.schema.median,
+            "domain_size": sketch.schema.domain_size,
+            "seed": sketch.schema.seed,
+        }
+    if isinstance(sketch, DyadicHashSketch):
+        return {
+            **_schema_fields(sketch),
+            "kind": _KIND_DYADIC,
+            "coarse_cutoff": sketch.schema.coarse_cutoff,
+            "num_levels": sketch.schema.num_levels,
+        }
+    if isinstance(sketch, SkimmedSketch):
+        return {
+            **_schema_fields(sketch),
+            "kind": _KIND_SKIMMED,
+            "inner_kind": _KIND_DYADIC if sketch.schema.dyadic else _KIND_HASH,
+            "threshold_multiplier": sketch.schema.threshold_multiplier,
+        }
+    raise SerializationError(f"cannot spec {type(sketch).__name__}")
+
+
+def sketch_from_spec(spec: dict[str, Any]) -> AnySketch:
+    """Build a fresh *empty* sketch from :func:`sketch_spec` output."""
+    version = int(spec.get("version", -1))
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported spec version {version}")
+    kind = str(spec.get("kind", ""))
+    if kind == _KIND_HASH:
+        return HashSketchSchema(
+            int(spec["width"]),
+            int(spec["depth"]),
+            int(spec["domain_size"]),
+            seed=int(spec["seed"]),
+        ).create_sketch()
+    if kind == _KIND_AGMS:
+        return AGMSSchema(
+            int(spec["averaging"]),
+            int(spec["median"]),
+            int(spec["domain_size"]),
+            seed=int(spec["seed"]),
+        ).create_sketch()
+    if kind == _KIND_DYADIC:
+        schema = DyadicSketchSchema(
+            int(spec["width"]),
+            int(spec["depth"]),
+            int(spec["domain_size"]),
+            seed=int(spec["seed"]),
+            coarse_cutoff=int(spec["coarse_cutoff"]),
+        )
+        if schema.num_levels != int(spec["num_levels"]):
+            raise SerializationError(
+                f"spec has {spec['num_levels']} levels, schema rebuilds "
+                f"{schema.num_levels}"
+            )
+        return schema.create_sketch()
+    if kind == _KIND_SKIMMED:
+        return SkimmedSketchSchema(
+            int(spec["width"]),
+            int(spec["depth"]),
+            int(spec["domain_size"]),
+            seed=int(spec["seed"]),
+            dyadic=str(spec["inner_kind"]) == _KIND_DYADIC,
+            threshold_multiplier=float(spec["threshold_multiplier"]),
+        ).create_sketch()
+    raise SerializationError(f"unknown sketch kind {kind!r}")
+
+
+def merge_sketch_state(sketch: AnySketch, state: dict[str, Any]) -> AnySketch:
+    """Merge a serialised sketch state into a live sketch (counter sum).
+
+    Rebuilds the state's sketch (schema and all) and returns
+    ``sketch.merged_with(restored)`` — linearity makes the result exactly
+    the sketch of both underlying streams concatenated.  Compatibility
+    (dimensions *and* seeded randomness) is validated by ``merged_with``;
+    a kind mismatch raises :class:`SerializationError`.
+    """
+    other = sketch_from_state(state)
+    if type(other) is not type(sketch):
+        raise SerializationError(
+            f"cannot merge {state.get('kind')!r} state into "
+            f"{type(sketch).__name__}"
+        )
+    return sketch.merged_with(other)
+
+
 def save_sketch(sketch: AnySketch, destination: str | Path | BinaryIO) -> None:
     """Persist a sketch (with schema parameters) to an ``.npz`` archive."""
     state = sketch_state(sketch)

@@ -18,6 +18,7 @@ from .query import (
     JoinAverageQuery,
     JoinCountQuery,
     JoinSumQuery,
+    ModuloPredicate,
     MultiJoinCountQuery,
     PointQuery,
     Predicate,
@@ -53,6 +54,7 @@ __all__ = [
     "JoinAverageQuery",
     "JoinCountQuery",
     "JoinSumQuery",
+    "ModuloPredicate",
     "MultiJoinCountQuery",
     "MultiJoinSchema",
     "ParsedQuery",

@@ -186,17 +186,46 @@ class StreamEngine:
         with _TRACER.span(
             "engine.ingest", stream=stream, elements=1
         ) if _TRACER.enabled else nullcontext():
-            registered.synopsis.update(value, weight)
+            self._ingest_one(registered, value, weight)
         if _AUDIT.enabled and self._shadow is not None:
             self._shadow.observe(stream, value, weight)
         if _METRICS.enabled:
             _METRICS.count("engine.elements.seen")
             _METRICS.count(f"engine.stream.{stream}.elements")
 
-    def process_many(self, stream: str, updates: Iterable[Update]) -> None:
-        """Feed a finite update stream element by element."""
+    def process_many(
+        self, stream: str, updates: Iterable[Update], chunk_size: int = 4096
+    ) -> None:
+        """Feed a finite update stream, chunked onto the bulk path.
+
+        Updates are buffered into arrays of up to ``chunk_size`` elements
+        and ingested via :meth:`process_bulk`, so ``Update``-object
+        streams get the vectorised predicate + fused-kernel path instead
+        of per-element :meth:`process` calls.  Note the coarser failure
+        granularity: an out-of-domain value aborts its whole chunk rather
+        than just the elements after it.
+        """
+        if chunk_size < 1:
+            raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        values: list[int] = []
+        weights: list[float] = []
         for item in updates:
-            self.process(stream, item.value, item.weight)
+            values.append(item.value)
+            weights.append(item.weight)
+            if len(values) >= chunk_size:
+                self.process_bulk(
+                    stream,
+                    np.asarray(values, dtype=np.int64),
+                    np.asarray(weights, dtype=np.float64),
+                )
+                values.clear()
+                weights.clear()
+        if values:
+            self.process_bulk(
+                stream,
+                np.asarray(values, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+            )
 
     def process_bulk(
         self, stream: str, values: np.ndarray, weights: np.ndarray | None = None
@@ -205,11 +234,7 @@ class StreamEngine:
         registered = self._lookup(stream)
         values = np.asarray(values, dtype=np.int64)
         registered.elements_seen += int(values.size)
-        keep = np.fromiter(
-            (registered.predicate.accepts(int(v)) for v in values),
-            dtype=bool,
-            count=values.size,
-        )
+        keep = registered.predicate.accepts_bulk(values)
         kept = int(keep.sum())
         registered.elements_dropped += int(values.size - kept)
         if _METRICS.enabled:
@@ -218,20 +243,48 @@ class StreamEngine:
             _METRICS.count(f"engine.stream.{stream}.elements", kept)
         if not kept:
             return
-        kept_weights = None if weights is None else np.asarray(weights)[keep]
+        if kept == values.size:
+            kept_values = values
+            kept_weights = None if weights is None else np.asarray(weights)
+        else:
+            kept_values = values[keep]
+            kept_weights = None if weights is None else np.asarray(weights)[keep]
         with _TRACER.span(
             "engine.ingest",
             stream=stream,
             elements=int(values.size),
             kept=kept,
         ) if _TRACER.enabled else nullcontext():
-            registered.synopsis.update_bulk(values[keep], kept_weights)
+            self._ingest_bulk(registered, kept_values, kept_weights)
         if _AUDIT.enabled and self._shadow is not None:
             self._shadow.observe_bulk(
                 stream,
-                values[keep].tolist(),
+                kept_values.tolist(),
                 None if kept_weights is None else kept_weights.tolist(),
             )
+
+    # -- ingestion hooks (override points for parallel engines) -----------------
+
+    def _ingest_one(
+        self, registered: _RegisteredStream, value: int, weight: float
+    ) -> None:
+        """Fold one filtered element into the stream's synopsis."""
+        registered.synopsis.update(value, weight)
+
+    def _ingest_bulk(
+        self,
+        registered: _RegisteredStream,
+        values: np.ndarray,
+        weights: np.ndarray | None,
+    ) -> None:
+        """Fold a filtered batch into the stream's synopsis.
+
+        :class:`~repro.parallel.ParallelStreamEngine` overrides this (and
+        :meth:`_ingest_one`) to route batches through sharded workers;
+        everything else — predicates, metrics, tracing, shadow audits,
+        query answering — is inherited unchanged.
+        """
+        registered.synopsis.update_bulk(values, weights)
 
     def stream_stats(self, stream: str) -> tuple[int, int]:
         """``(elements_seen, elements_dropped_by_predicate)`` for a stream."""

@@ -12,9 +12,12 @@ evaluates against its registered synopses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet
+from typing import TYPE_CHECKING, Callable, FrozenSet
 
 from ..errors import QueryError
+
+if TYPE_CHECKING:  # numpy is only needed once bulk ingestion happens
+    import numpy as np
 
 
 class Predicate:
@@ -24,6 +27,20 @@ class Predicate:
         """True if elements with this value pass the selection."""
         raise NotImplementedError
 
+    def accepts_bulk(self, values: "np.ndarray") -> "np.ndarray":
+        """Boolean keep-mask for a whole batch of values.
+
+        The bulk-ingest hot path: subclasses with array semantics
+        (range, set, modulo) override this with a vectorised mask; this
+        base implementation is the ``np.fromiter`` fallback that calls
+        :meth:`accepts` per element, for opaque predicates.
+        """
+        import numpy as np
+
+        return np.fromiter(
+            (self.accepts(int(v)) for v in values), dtype=bool, count=values.size
+        )
+
 
 @dataclass(frozen=True)
 class TruePredicate(Predicate):
@@ -31,6 +48,12 @@ class TruePredicate(Predicate):
 
     def accepts(self, value: int) -> bool:
         return True
+
+    def accepts_bulk(self, values: "np.ndarray") -> "np.ndarray":
+        """All-ones mask (no per-element work)."""
+        import numpy as np
+
+        return np.ones(values.size, dtype=bool)
 
 
 @dataclass(frozen=True)
@@ -47,6 +70,10 @@ class RangePredicate(Predicate):
     def accepts(self, value: int) -> bool:
         return self.low <= value < self.high
 
+    def accepts_bulk(self, values: "np.ndarray") -> "np.ndarray":
+        """Vectorised interval test."""
+        return (values >= self.low) & (values < self.high)
+
 
 @dataclass(frozen=True)
 class InSetPredicate(Predicate):
@@ -57,10 +84,49 @@ class InSetPredicate(Predicate):
     def accepts(self, value: int) -> bool:
         return value in self.values
 
+    def accepts_bulk(self, values: "np.ndarray") -> "np.ndarray":
+        """Vectorised membership test (``np.isin`` over the frozen set)."""
+        import numpy as np
+
+        members = np.fromiter(self.values, dtype=np.int64, count=len(self.values))
+        return np.isin(values, members)
+
+
+@dataclass(frozen=True)
+class ModuloPredicate(Predicate):
+    """Accepts values congruent to ``remainder`` modulo ``modulus``.
+
+    The classic hash-partition selection (e.g. "every 4th key"); included
+    because it vectorises trivially and shows up in stream-sampling
+    pipelines.
+    """
+
+    modulus: int
+    remainder: int
+
+    def __post_init__(self) -> None:
+        if self.modulus < 1:
+            raise QueryError(f"modulus must be >= 1, got {self.modulus}")
+        if not 0 <= self.remainder < self.modulus:
+            raise QueryError(
+                f"remainder must be in [0, {self.modulus}), got {self.remainder}"
+            )
+
+    def accepts(self, value: int) -> bool:
+        return value % self.modulus == self.remainder
+
+    def accepts_bulk(self, values: "np.ndarray") -> "np.ndarray":
+        """Vectorised congruence test."""
+        return (values % self.modulus) == self.remainder
+
 
 @dataclass(frozen=True)
 class FunctionPredicate(Predicate):
-    """Accepts values for which ``function(value)`` is truthy."""
+    """Accepts values for which ``function(value)`` is truthy.
+
+    Opaque to vectorisation: bulk ingestion falls back to the
+    per-element :meth:`Predicate.accepts_bulk` loop.
+    """
 
     function: Callable[[int], bool]
 

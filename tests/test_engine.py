@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import SketchParameters
-from repro.errors import QueryError
+from repro.errors import ParameterError, QueryError
 from repro.streams.engine import StreamEngine
 from repro.streams.generators import shifted_zipf_pair
 from repro.streams.model import Update
@@ -79,6 +79,28 @@ class TestMaintenanceAndPredicates:
         engine.process_many("f", [Update(1), Update(2, -1.0)])
         seen, _ = engine.stream_stats("f")
         assert seen == 2
+
+    def test_process_many_chunking_matches_single_bulk(self):
+        chunked = make_engine(synopsis="hash")
+        whole = make_engine(synopsis="hash")
+        rng = np.random.default_rng(17)
+        values = rng.integers(0, DOMAIN, size=1000, dtype=np.int64)
+        for engine in (chunked, whole):
+            engine.register_stream("f", predicate=RangePredicate(0, DOMAIN // 2))
+        chunked.process_many(
+            "f", (Update(int(v)) for v in values), chunk_size=64
+        )
+        whole.process_bulk("f", values)
+        assert np.array_equal(
+            chunked.synopsis_for("f").counters, whole.synopsis_for("f").counters
+        )
+        assert chunked.stream_stats("f") == whole.stream_stats("f")
+
+    def test_process_many_rejects_bad_chunk_size(self):
+        engine = make_engine()
+        engine.register_stream("f")
+        with pytest.raises(ParameterError):
+            engine.process_many("f", [Update(1)], chunk_size=0)
 
     def test_bulk_all_dropped_is_noop(self):
         engine = make_engine()

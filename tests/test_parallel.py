@@ -1,0 +1,287 @@
+"""Tests for the sharded parallel ingest subsystem (repro.parallel).
+
+The load-bearing claim is *exactness*: because every synopsis is a
+linear projection, sharding a stream across workers and merging the
+shard counters reproduces the serial sketch bit-for-bit (integer-weight
+regime).  These tests pin that down per mode, per synopsis kind, and
+through the full ParallelStreamEngine query path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SketchParameters
+from repro.errors import ParameterError
+from repro.parallel import (
+    INGEST_MODES,
+    ParallelStreamEngine,
+    ShardedIngestor,
+    partition_batch,
+)
+from repro.parallel.__main__ import main as parallel_main
+from repro.sketches.dyadic import DyadicSketchSchema
+from repro.sketches.hash_sketch import HashSketchSchema
+from repro.sketches.serialize import sketch_state
+from repro.streams.engine import StreamEngine
+from repro.streams.query import JoinCountQuery, PointQuery, SelfJoinQuery
+
+DOMAIN = 1 << 10
+PARAMS = SketchParameters(width=128, depth=5)
+
+
+def seeded_batches(n=6000, batches=7, seed=3):
+    """Deterministic integer-weight batches with ~5% deletions."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, DOMAIN, size=n, dtype=np.int64)
+    weights = np.ones(n, dtype=np.float64)
+    weights[rng.random(n) < 0.05] = -1.0
+    splits = np.array_split(np.arange(n), batches)
+    return [(values[s], weights[s]) for s in splits]
+
+
+def states_equal(left, right) -> bool:
+    left_state, right_state = sketch_state(left), sketch_state(right)
+    if left_state.keys() != right_state.keys():
+        return False
+    for key, lv in left_state.items():
+        rv = right_state[key]
+        if isinstance(lv, np.ndarray):
+            if not np.array_equal(lv, rv):
+                return False
+        elif lv != rv:
+            return False
+    return True
+
+
+class TestPartitionBatch:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        values = np.arange(500, dtype=np.int64)
+        parts = partition_batch(values, None, 4)
+        assert len(parts) == 4
+        seen = np.concatenate([p[0] for p in parts if p is not None])
+        assert sorted(seen.tolist()) == values.tolist()
+
+    def test_value_to_shard_map_ignores_batch_boundaries(self):
+        values = np.arange(1000, dtype=np.int64)
+        whole = partition_batch(values, None, 3)
+        shard_of = {}
+        for shard, part in enumerate(whole):
+            if part is not None:
+                for v in part[0].tolist():
+                    shard_of[v] = shard
+        for chunk in np.array_split(values, 11):
+            for shard, part in enumerate(partition_batch(chunk, None, 3)):
+                if part is not None:
+                    for v in part[0].tolist():
+                        assert shard_of[v] == shard
+
+    def test_single_worker_short_circuits(self):
+        values = np.arange(10, dtype=np.int64)
+        weights = np.ones(10)
+        parts = partition_batch(values, weights, 1)
+        assert len(parts) == 1
+        assert parts[0][0] is values
+        assert parts[0][1] is weights
+
+    def test_weights_follow_their_values(self):
+        values = np.arange(200, dtype=np.int64)
+        weights = values.astype(np.float64)
+        for part in partition_batch(values, weights, 4):
+            if part is not None:
+                assert np.array_equal(part[0].astype(np.float64), part[1])
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ParameterError):
+            partition_batch(np.arange(4, dtype=np.int64), None, 0)
+
+
+class TestShardedIngestorExactness:
+    @pytest.mark.parametrize("mode", INGEST_MODES)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_hash_sketch_matches_serial(self, mode, workers):
+        schema = HashSketchSchema(128, 5, DOMAIN, seed=9)
+        serial = schema.create_sketch()
+        with ShardedIngestor(schema, workers=workers, mode=mode) as ingestor:
+            for values, weights in seeded_batches():
+                serial.update_bulk(values, weights)
+                ingestor.ingest(values, weights)
+            assert states_equal(ingestor.merged(), serial)
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_dyadic_sketch_matches_serial(self, mode):
+        schema = DyadicSketchSchema(64, 5, DOMAIN, seed=2)
+        serial = schema.create_sketch()
+        with ShardedIngestor(schema, workers=3, mode=mode) as ingestor:
+            for values, weights in seeded_batches(n=3000, batches=4):
+                serial.update_bulk(values, weights)
+                ingestor.ingest(values, weights)
+            assert states_equal(ingestor.merged(), serial)
+
+    def test_rechunking_does_not_change_merged_counters(self):
+        schema = HashSketchSchema(128, 5, DOMAIN, seed=9)
+        batches = seeded_batches()
+        values = np.concatenate([v for v, _ in batches])
+        weights = np.concatenate([w for _, w in batches])
+        with ShardedIngestor(schema, workers=4, mode="thread") as chunked, \
+                ShardedIngestor(schema, workers=4, mode="thread") as whole:
+            for v, w in batches:
+                chunked.ingest(v, w)
+            whole.ingest(values, weights)
+            assert states_equal(chunked.merged(), whole.merged())
+
+
+class TestShardedIngestorBehaviour:
+    def test_merge_is_cached_until_new_data(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        ingestor = ShardedIngestor(schema, workers=2, mode="serial")
+        values, weights = seeded_batches(n=500, batches=1)[0]
+        ingestor.ingest(values, weights)
+        first = ingestor.merged()
+        assert ingestor.merged() is first
+        ingestor.ingest(values, weights)
+        assert ingestor.merged() is not first
+
+    def test_single_worker_merged_is_live_shard(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        ingestor = ShardedIngestor(schema, workers=1)
+        values, weights = seeded_batches(n=100, batches=1)[0]
+        ingestor.ingest(values, weights)
+        merged = ingestor.merged()
+        serial = schema.create_sketch()
+        serial.update_bulk(values, weights)
+        assert states_equal(merged, serial)
+
+    def test_stats_and_repr(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        ingestor = ShardedIngestor(schema, workers=2, mode="serial")
+        assert ingestor.workers == 2
+        assert ingestor.mode == "serial"
+        values, weights = seeded_batches(n=100, batches=1)[0]
+        ingestor.ingest(values, weights)
+        ingestor.ingest(np.asarray([], dtype=np.int64))  # ignored
+        assert ingestor.batches_ingested == 1
+        assert ingestor.elements_ingested == 100
+        assert "workers=2" in repr(ingestor)
+
+    def test_reset_drops_everything(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        ingestor = ShardedIngestor(schema, workers=2, mode="serial")
+        values, weights = seeded_batches(n=100, batches=1)[0]
+        ingestor.ingest(values, weights)
+        ingestor.reset()
+        assert ingestor.elements_ingested == 0
+        assert states_equal(ingestor.merged(), schema.create_sketch())
+
+    def test_merged_works_after_close(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        values, weights = seeded_batches(n=400, batches=1)[0]
+        serial = schema.create_sketch()
+        serial.update_bulk(values, weights)
+        ingestor = ShardedIngestor(schema, workers=2, mode="thread")
+        ingestor.ingest(values, weights)
+        ingestor.close()
+        assert states_equal(ingestor.merged(), serial)
+
+    def test_invalid_parameters_rejected(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        with pytest.raises(ParameterError):
+            ShardedIngestor(schema, workers=0)
+        with pytest.raises(ParameterError):
+            ShardedIngestor(schema, workers=2, mode="fork")
+        ingestor = ShardedIngestor(schema, workers=2, mode="serial")
+        with pytest.raises(ParameterError):
+            ingestor.ingest(
+                np.arange(4, dtype=np.int64), np.ones(3, dtype=np.float64)
+            )
+
+
+class TestParallelStreamEngine:
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_answers_match_serial_engine(self, mode):
+        serial = StreamEngine(DOMAIN, PARAMS, synopsis="skimmed", seed=5)
+        batches = seeded_batches()
+        with ParallelStreamEngine(
+            DOMAIN, PARAMS, synopsis="skimmed", seed=5, workers=3, mode=mode
+        ) as engine:
+            for eng in (serial, engine):
+                for name in ("f", "g"):
+                    eng.register_stream(name)
+                    for values, weights in batches:
+                        eng.process_bulk(name, values, weights)
+            for query in (
+                JoinCountQuery("f", "g"),
+                SelfJoinQuery("f"),
+                PointQuery("f", 7),
+            ):
+                assert engine.answer(query) == serial.answer(query)
+            for name in ("f", "g"):
+                assert states_equal(
+                    engine.synopsis_for(name), serial.synopsis_for(name)
+                )
+
+    def test_single_element_process_path(self):
+        serial = StreamEngine(DOMAIN, PARAMS, synopsis="hash", seed=5)
+        with ParallelStreamEngine(
+            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode="serial"
+        ) as engine:
+            for eng in (serial, engine):
+                eng.register_stream("f")
+                for value in (3, 99, 3, 500):
+                    eng.process("f", value, 2.0)
+            assert states_equal(engine.synopsis_for("f"), serial.synopsis_for("f"))
+
+    def test_total_space_scales_with_workers(self):
+        with ParallelStreamEngine(
+            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=3, mode="serial"
+        ) as engine:
+            engine.register_stream("f")
+            serial = StreamEngine(DOMAIN, PARAMS, synopsis="hash", seed=5)
+            serial.register_stream("f")
+            assert (
+                engine.total_space_in_counters()
+                == 3 * serial.total_space_in_counters()
+            )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            ParallelStreamEngine(DOMAIN, PARAMS, workers=0)
+        with pytest.raises(ParameterError):
+            ParallelStreamEngine(DOMAIN, PARAMS, mode="fibers")
+
+
+class TestCli:
+    def test_selfcheck_passes(self, capsys):
+        code = parallel_main(
+            [
+                "selfcheck",
+                "--workers",
+                "2",
+                "--modes",
+                "serial,thread",
+                "--elements",
+                "2000",
+                "--domain",
+                "256",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selfcheck OK" in out
+
+    def test_bench_prints_table(self, capsys):
+        code = parallel_main(
+            [
+                "bench",
+                "--workers-list",
+                "1,2",
+                "--elements",
+                "4000",
+                "--domain",
+                "256",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "updates/sec" in out

@@ -1,0 +1,61 @@
+"""Guard against the parallel wrapper taxing the parallelism-off path.
+
+With ``workers=1`` a :class:`ShardedIngestor` must be a thin pass-through:
+no executor, no partition hashing, no counter copies — just the shard's
+own ``update_bulk``.  A 100k-element batch therefore has to run within a
+small factor of calling ``update_bulk`` directly.  A regression here
+means the 1-worker path grew per-batch Python work it shouldn't have.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.obs import METRICS
+from repro.parallel import ShardedIngestor
+from repro.sketches.hash_sketch import HashSketchSchema
+
+N_ELEMENTS = 100_000
+REPEATS = 5
+# The wrapper legitimately adds one dtype coercion, the dirty-flag
+# bookkeeping and a disabled-metrics branch per *batch*; the budget
+# allows for that plus generous CI timing noise.
+MAX_FACTOR = 3.0
+SLACK_SECONDS = 0.005
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_single_worker_ingest_matches_direct_update_bulk(rng):
+    assert not METRICS.enabled  # the conftest fixture guarantees this
+    schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
+    values = rng.integers(0, 1 << 16, size=N_ELEMENTS).astype(np.int64)
+    weights = np.ones(N_ELEMENTS)
+
+    direct_sketch = schema.create_sketch()
+
+    def direct():
+        direct_sketch.update_bulk(values, weights)
+
+    ingestor = ShardedIngestor(schema, workers=1)
+
+    def wrapped():
+        ingestor.ingest(values, weights)
+
+    direct_best = _best_of(REPEATS, direct)
+    wrapped_best = _best_of(REPEATS, wrapped)
+
+    budget = direct_best * MAX_FACTOR + SLACK_SECONDS
+    assert wrapped_best <= budget, (
+        f"1-worker ingest took {wrapped_best:.4f}s vs direct update_bulk "
+        f"{direct_best:.4f}s (budget {budget:.4f}s)"
+    )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import QueryError
@@ -11,6 +12,7 @@ from repro.streams.query import (
     JoinAverageQuery,
     JoinCountQuery,
     JoinSumQuery,
+    ModuloPredicate,
     PointQuery,
     RangePredicate,
     SelfJoinQuery,
@@ -43,6 +45,49 @@ class TestPredicates:
         pred = FunctionPredicate(lambda v: v % 2 == 0)
         assert pred.accepts(4)
         assert not pred.accepts(5)
+
+    def test_modulo_predicate(self):
+        pred = ModuloPredicate(3, 1)
+        assert pred.accepts(1)
+        assert pred.accepts(4)
+        assert not pred.accepts(3)
+
+    def test_modulo_predicate_validates(self):
+        with pytest.raises(QueryError):
+            ModuloPredicate(0, 0)
+        with pytest.raises(QueryError):
+            ModuloPredicate(3, 3)
+        with pytest.raises(QueryError):
+            ModuloPredicate(3, -1)
+
+
+class TestAcceptsBulk:
+    """Every predicate's vectorised path must agree with accepts()."""
+
+    PREDICATES = [
+        TruePredicate(),
+        RangePredicate(10, 20),
+        InSetPredicate(frozenset({1, 5, 17})),
+        ModuloPredicate(4, 2),
+        FunctionPredicate(lambda v: v % 2 == 0),
+    ]
+
+    @pytest.mark.parametrize(
+        "pred", PREDICATES, ids=[type(p).__name__ for p in PREDICATES]
+    )
+    def test_bulk_matches_scalar(self, pred):
+        values = np.arange(40, dtype=np.int64)
+        mask = pred.accepts_bulk(values)
+        assert mask.dtype == np.bool_
+        assert mask.tolist() == [pred.accepts(int(v)) for v in values]
+
+    @pytest.mark.parametrize(
+        "pred", PREDICATES, ids=[type(p).__name__ for p in PREDICATES]
+    )
+    def test_bulk_handles_empty_batch(self, pred):
+        mask = pred.accepts_bulk(np.asarray([], dtype=np.int64))
+        assert mask.size == 0
+        assert mask.dtype == np.bool_
 
 
 class TestQueryDataclasses:

@@ -12,7 +12,13 @@ from repro.core.estimator import SkimmedSketchSchema
 from repro.sketches.agms import AGMSSchema
 from repro.sketches.dyadic import DyadicSketchSchema
 from repro.sketches.hash_sketch import HashSketchSchema
-from repro.sketches.serialize import FORMAT_VERSION, SerializationError
+from repro.sketches.serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    merge_sketch_state,
+    sketch_from_spec,
+    sketch_spec,
+)
 from repro.streams.generators import zipf_frequencies
 
 DOMAIN = 1 << 10
@@ -101,6 +107,68 @@ class TestOtherKinds:
         restored = loaded_roundtrip(sketch)
         assert restored.schema.dyadic
         assert restored.point_estimate(5) == pytest.approx(3.0)
+
+
+class TestSpecHelpers:
+    """Schema-only specs: build empty twins, merge shipped counter state."""
+
+    SCHEMAS = [
+        HashSketchSchema(16, 3, DOMAIN, seed=4),
+        AGMSSchema(8, 3, DOMAIN, seed=4),
+        DyadicSketchSchema(16, 3, DOMAIN, seed=4),
+        SkimmedSketchSchema(16, 3, DOMAIN, seed=4),
+        SkimmedSketchSchema(16, 3, DOMAIN, seed=4, dyadic=True),
+    ]
+
+    @pytest.mark.parametrize(
+        "schema",
+        SCHEMAS,
+        ids=["hash", "agms", "dyadic", "skimmed", "skimmed-dyadic"],
+    )
+    def test_spec_round_trip_builds_empty_twin(self, schema):
+        original = schema.create_sketch()
+        twin = sketch_from_spec(sketch_spec(original))
+        assert type(twin) is type(original)
+        left, right = sketch_state(original), sketch_state(twin)
+        assert left.keys() == right.keys()
+        for key, lv in left.items():
+            rv = right[key]
+            if isinstance(lv, np.ndarray):
+                assert np.array_equal(lv, rv), key
+            else:
+                assert lv == rv, key
+
+    def test_spec_twin_shares_hash_families(self):
+        schema = HashSketchSchema(16, 3, DOMAIN, seed=4)
+        original = schema.create_sketch()
+        twin = sketch_from_spec(sketch_spec(original))
+        original.update(9, 2.0)
+        twin.update(9, 2.0)
+        assert np.array_equal(original.counters, twin.counters)
+
+    def test_merge_sketch_state_adds_counters(self):
+        schema = HashSketchSchema(16, 3, DOMAIN, seed=4)
+        left, right = schema.create_sketch(), schema.create_sketch()
+        left.update(1, 2.0)
+        right.update(3, 5.0)
+        merged = merge_sketch_state(left, sketch_state(right))
+        reference = schema.create_sketch()
+        reference.update(1, 2.0)
+        reference.update(3, 5.0)
+        assert np.array_equal(merged.counters, reference.counters)
+        assert merged.absolute_mass == reference.absolute_mass
+
+    def test_merge_rejects_kind_mismatch(self):
+        hash_sketch = HashSketchSchema(16, 3, DOMAIN, seed=4).create_sketch()
+        agms_state = sketch_state(AGMSSchema(8, 3, DOMAIN, seed=4).create_sketch())
+        with pytest.raises(SerializationError):
+            merge_sketch_state(hash_sketch, agms_state)
+
+    def test_spec_rejects_unknown_kind_and_version(self):
+        with pytest.raises(SerializationError):
+            sketch_from_spec({"version": FORMAT_VERSION, "kind": "mystery"})
+        with pytest.raises(SerializationError):
+            sketch_from_spec({"version": 999, "kind": "hash"})
 
 
 class TestErrors:
