@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke lint check clean
+.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke workloads-smoke lint check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,7 +22,7 @@ lint:
 	fi
 
 # Umbrella gate: everything CI runs.
-check: lint test metrics-smoke monitor-smoke parallel-smoke
+check: lint test metrics-smoke monitor-smoke parallel-smoke workloads-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -76,6 +76,20 @@ monitor-smoke:
 # mismatch.  See docs/PERFORMANCE.md.
 parallel-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.parallel selfcheck --workers 4
+
+# Adversarial-workload accuracy gate: prove corpus determinism and
+# serial==sharded audit equality, then run the audited smoke corpus and
+# gate realized error / CI coverage / residual verdicts / drift alerts
+# against the committed baseline.  Every number is seed-deterministic,
+# so the full tolerance gate holds across machines.  See
+# docs/WORKLOADS.md.
+workloads-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.workloads selfcheck
+	PYTHONPATH=src $(PYTHON) -m repro.workloads run --suite smoke \
+		--json-out .workloads-smoke.json --quiet
+	PYTHONPATH=src $(PYTHON) -m repro.workloads compare \
+		benchmarks/baselines/ACCURACY_baseline.json .workloads-smoke.json
+	rm -f .workloads-smoke.json
 
 clean:
 	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks

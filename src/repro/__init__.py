@@ -28,6 +28,7 @@ Package map (details in DESIGN.md):
 * :mod:`repro.streams` — stream model, generators, query engine, multi-join;
 * :mod:`repro.baselines` — exact / sampling / bifocal / partitioned AGMS;
 * :mod:`repro.parallel` — sharded parallel ingestion with exact merge;
+* :mod:`repro.workloads` — adversarial workload corpus + accuracy gate;
 * :mod:`repro.eval` — the paper's evaluation methodology and experiments.
 """
 

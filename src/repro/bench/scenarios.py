@@ -456,3 +456,76 @@ def _run_join_hash(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
         "relative_error": _relative_error(estimate, f.join_size(g)),
         "sketch_bytes": sf.size_in_counters() * _BYTES_PER_COUNTER,
     }
+
+
+def _run_workload_scenario(params: dict[str, Any]) -> tuple[float, dict[str, Any]]:
+    """Shared runner for the workload.* adversarial-corpus series.
+
+    Times the full StreamEngine path — bulk ingest of every corpus batch
+    (predicate pushdown included) plus all declared join queries — on one
+    ``repro.workloads`` family.  ``relative_error`` is the max realized
+    relative error against the corpus's exact ground truth, which is
+    seed-deterministic and therefore gateable in CI.
+    """
+    from ..core.config import SketchParameters
+    from ..streams.engine import StreamEngine
+    from ..streams.query import JoinCountQuery, SelfJoinQuery
+    from ..workloads.corpus import FAMILIES
+
+    family = FAMILIES[params["family"]]
+    instance = family.build(
+        dict(family.suites[params["corpus"]]), params["seed"]
+    )
+    engine = StreamEngine(
+        instance.domain_size,
+        SketchParameters(width=params["width"], depth=params["depth"]),
+        synopsis="skimmed",
+        seed=params["engine_seed"],
+    )
+    for name, predicate in instance.streams.items():
+        engine.register_stream(name, predicate=predicate)
+    worst = 0.0
+    start = time.perf_counter()
+    for batch in instance.batches:
+        engine.process_bulk(batch.stream, batch.values, batch.weights)
+    estimates = [
+        engine.answer(
+            SelfJoinQuery(left) if left == right else JoinCountQuery(left, right)
+        )
+        for left, right in instance.queries
+    ]
+    elapsed = time.perf_counter() - start
+    for (left, right), estimate in zip(instance.queries, estimates):
+        worst = max(
+            worst, _relative_error(estimate, instance.exact_join(left, right))
+        )
+    return elapsed, {
+        "updates": instance.total_updates(),
+        "relative_error": worst,
+        "sketch_bytes": engine.total_space_in_counters() * _BYTES_PER_COUNTER,
+    }
+
+
+def _workload_suites(family: str) -> dict[str, dict[str, Any]]:
+    """Suite params for one family of the workload.* series."""
+    common = {"family": family, "seed": 0, "engine_seed": 101}
+    return {
+        "smoke": {**common, "corpus": "smoke", "width": 256, "depth": 5},
+        "full": {**common, "corpus": "full", "width": 1024, "depth": 7},
+    }
+
+
+for _family in (
+    "skew_drift",
+    "delete_churn",
+    "filtered_subset_sum",
+    "join_correlated",
+    "join_anticorrelated",
+):
+    _register(
+        f"workload.{_family}",
+        f"StreamEngine ingest + query on the adversarial {_family!r} corpus "
+        "family (repro.workloads): throughput under adversarial streams, "
+        "with max realized relative error vs exact ground truth",
+        _workload_suites(_family),
+    )(_run_workload_scenario)

@@ -1,0 +1,13 @@
+"""R6 fixture: unseeded RNG inside a corpus-family builder.
+
+An unseeded generator here would silently break the whole
+``repro.workloads`` contract (same ``(family, params, seed)`` =>
+byte-identical corpus), so the linter must flag it in this package too.
+"""
+
+import numpy as np
+
+
+def build_family(params):
+    rng = np.random.default_rng()  # R6: corpus would differ per run
+    return rng.integers(0, params["domain"], size=params["total"])

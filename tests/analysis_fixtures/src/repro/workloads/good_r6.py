@@ -1,0 +1,8 @@
+"""R6 fixture (clean): corpus builder draws only from its seed."""
+
+import numpy as np
+
+
+def build_family(params, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, params["domain"], size=params["total"])

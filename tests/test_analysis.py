@@ -96,6 +96,27 @@ class TestRulesOnFixtures:
         assert report.findings == []
 
 
+class TestWorkloadsPackageFixtures:
+    """R6 coverage for the repro.workloads corpus package.
+
+    The seeded-RNG rule is load-bearing there: an unseeded generator in a
+    family builder would break corpus byte-determinism and with it the
+    whole ACCURACY compare gate.
+    """
+
+    def test_unseeded_corpus_builder_fires_r6(self):
+        report = analyze_paths(
+            [str(FIXTURES / "src/repro/workloads/bad_r6.py")]
+        )
+        assert [f.rule for f in report.findings] == ["R6"]
+
+    def test_seeded_corpus_builder_is_clean(self):
+        report = analyze_paths(
+            [str(FIXTURES / "src/repro/workloads/good_r6.py")]
+        )
+        assert report.findings == []
+
+
 class TestSuppression:
     def test_noqa_comments_suppress(self):
         report = analyze_paths([str(FIXTURES / "src/repro/sketches/suppressed.py")])
@@ -136,6 +157,7 @@ class TestClassification:
             ("examples/quickstart.py", Role.SCRIPT),
             ("benchmarks/bench_update.py", Role.SCRIPT),
             ("setup.py", Role.UNKNOWN),
+            ("src/repro/workloads/corpus.py", Role.LIBRARY),
             # Fixtures mirror the repo layout below the marker.
             ("tests/analysis_fixtures/src/repro/sketches/bad_r1.py", Role.KERNEL),
             ("tests/analysis_fixtures/tests/test_role_exempt.py", Role.TEST),

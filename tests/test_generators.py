@@ -15,7 +15,14 @@ from repro.streams.generators import (
     zipf_frequencies,
     zipf_probabilities,
 )
-from repro.streams.model import FrequencyVector
+from repro.streams.model import FrequencyVector, Update
+from repro.streams.query import (
+    FunctionPredicate,
+    InSetPredicate,
+    ModuloPredicate,
+    RangePredicate,
+    TruePredicate,
+)
 
 DOMAIN = 1024
 
@@ -162,3 +169,94 @@ class TestUniform:
     def test_flat(self):
         freqs = uniform_frequencies(64, 6_400)
         assert freqs.counts.max() - freqs.counts.min() <= 1.0
+
+
+class TestEdgeCases:
+    """Corner cases surfaced by the repro.workloads corpus work: empty
+    streams, single-item domains, and zero-weight updates must all flow
+    through the generator/model layer without special-casing."""
+
+    def test_empty_stream_is_the_zero_vector(self):
+        freqs = zipf_frequencies(DOMAIN, 0, 1.0)
+        assert freqs.total_count() == 0
+        assert freqs.self_join_size() == 0
+        assert element_stream(freqs, np.random.default_rng(0)) == []
+
+    def test_churn_on_empty_stream_is_empty(self):
+        freqs = zipf_frequencies(16, 0, 1.0)
+        assert insert_delete_stream(freqs, 0.5, np.random.default_rng(0)) == []
+
+    def test_sampled_empty_stream(self):
+        freqs = zipf_frequencies(16, 0, 1.0, np.random.default_rng(1))
+        assert freqs.total_count() == 0
+
+    def test_single_item_domain_concentrates_everything(self):
+        assert zipf_probabilities(1, 1.3).tolist() == [1.0]
+        freqs = zipf_frequencies(1, 7, 2.0)
+        assert freqs[0] == 7
+        stream = element_stream(freqs, np.random.default_rng(0))
+        assert len(stream) == 7
+        assert all(u.value == 0 for u in stream)
+
+    def test_single_item_domain_uniform(self):
+        assert uniform_frequencies(1, 5).counts.tolist() == [5.0]
+
+    def test_shift_by_full_domain_is_identity(self):
+        base = zipf_frequencies(8, 100, 1.0)
+        assert shifted_frequencies(base, 8) == base
+
+    def test_zero_weight_updates_are_no_ops(self):
+        vec = FrequencyVector.zeros(8)
+        vec.apply(Update(3, 0.0))
+        vec.apply_bulk(
+            np.array([1, 2], dtype=np.int64), np.array([0.0, 0.0])
+        )
+        assert vec.total_count() == 0
+        assert not vec.counts.any()
+
+    def test_apply_bulk_on_empty_arrays_is_a_no_op(self):
+        vec = FrequencyVector.zeros(8)
+        vec.apply_bulk(np.asarray([], dtype=np.int64), None)
+        vec.apply_bulk(np.asarray([], dtype=np.int64), np.asarray([]))
+        assert vec.total_count() == 0
+
+
+class TestPredicateBulkEdgeCases:
+    """Every predicate's ``accepts_bulk`` must handle empty batches —
+    the bulk-ingest path sees them whenever a chunk filters to nothing."""
+
+    EMPTY = np.asarray([], dtype=np.int64)
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            TruePredicate(),
+            RangePredicate(0, 5),
+            InSetPredicate(frozenset({1, 2})),
+            InSetPredicate(frozenset()),
+            ModuloPredicate(3, 1),
+            FunctionPredicate(lambda v: v % 2 == 0),
+        ],
+        ids=["true", "range", "inset", "inset-empty", "modulo", "function"],
+    )
+    def test_empty_batch_yields_empty_bool_mask(self, predicate):
+        mask = predicate.accepts_bulk(self.EMPTY)
+        assert mask.dtype == bool
+        assert mask.shape == (0,)
+
+    def test_empty_inset_rejects_everything(self):
+        predicate = InSetPredicate(frozenset())
+        mask = predicate.accepts_bulk(np.arange(5, dtype=np.int64))
+        assert not mask.any()
+
+    def test_bulk_agrees_with_scalar_path(self):
+        values = np.arange(32, dtype=np.int64)
+        for predicate in (
+            RangePredicate(3, 17),
+            InSetPredicate(frozenset({1, 4, 30})),
+            ModuloPredicate(5, 2),
+            FunctionPredicate(lambda v: v > 10),
+        ):
+            bulk = predicate.accepts_bulk(values)
+            scalar = [predicate.accepts(int(v)) for v in values]
+            assert bulk.tolist() == scalar

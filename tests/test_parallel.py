@@ -251,6 +251,114 @@ class TestParallelStreamEngine:
             ParallelStreamEngine(DOMAIN, PARAMS, mode="fibers")
 
 
+class TestAdversarialMetamorphic:
+    """Metamorphic linearity checks on the repro.workloads corpus.
+
+    Because every synopsis is a linear projection and corpus weights are
+    integers, permuting batch order or re-chunking an adversarial stream
+    must leave every sketch counter bit-identical — serial and sharded.
+    The delete-churn family is the sharpest probe (its near-cancelling
+    +1/-1 waves would expose any order- or chunk-dependent state), and
+    the filtered family adds predicate pushdown to the mix.
+    """
+
+    CHURN_PARAMS = {
+        "domain": 256, "waves": 3, "per_wave": 600, "survivors": 20,
+        "z": 1.1,
+    }
+    FILTERED_PARAMS = {
+        "domain": 256, "total": 1_500, "chunks": 3, "z": 0.9,
+        "range_hi_fraction": 0.5, "modulus": 4, "remainder": 1,
+        "inset_step": 3,
+    }
+
+    @staticmethod
+    def _instance(family, params):
+        from repro.workloads import build_workload
+
+        return build_workload(family, params=params, seed=11)
+
+    @staticmethod
+    def _engine_with_batches(instance, batches):
+        engine = StreamEngine(
+            instance.domain_size, PARAMS, synopsis="skimmed", seed=13
+        )
+        for name, predicate in instance.streams.items():
+            engine.register_stream(name, predicate=predicate)
+        for batch in batches:
+            engine.process_bulk(batch.stream, batch.values, batch.weights)
+        return engine
+
+    @pytest.mark.parametrize(
+        "family,params",
+        [
+            ("delete_churn", CHURN_PARAMS),
+            ("filtered_subset_sum", FILTERED_PARAMS),
+        ],
+    )
+    def test_batch_permutation_leaves_serial_sketches_identical(
+        self, family, params
+    ):
+        instance = self._instance(family, params)
+        permutation = np.random.default_rng(0).permutation(
+            len(instance.batches)
+        )
+        in_order = self._engine_with_batches(instance, instance.batches)
+        permuted = self._engine_with_batches(
+            instance, [instance.batches[i] for i in permutation]
+        )
+        for name in instance.streams:
+            assert states_equal(
+                in_order.synopsis_for(name), permuted.synopsis_for(name)
+            )
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_rechunking_adversarial_stream_is_exact_per_mode(self, mode):
+        instance = self._instance("delete_churn", self.CHURN_PARAMS)
+        values = np.concatenate(
+            [b.values for b in instance.batches if b.stream == "f"]
+        )
+        weights = np.concatenate(
+            [b.weights for b in instance.batches if b.stream == "f"]
+        )
+        schema = HashSketchSchema(128, 5, instance.domain_size, seed=13)
+        with ShardedIngestor(schema, workers=2, mode=mode) as coarse, \
+                ShardedIngestor(schema, workers=2, mode=mode) as fine:
+            coarse.ingest(values, weights)
+            splits = np.array_split(np.arange(values.size), 9)
+            for chunk in splits:
+                fine.ingest(values[chunk], weights[chunk])
+            assert states_equal(coarse.merged(), fine.merged())
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_permuted_ingest_matches_serial_engine_answers(self, mode):
+        instance = self._instance("delete_churn", self.CHURN_PARAMS)
+        serial = self._engine_with_batches(instance, instance.batches)
+        permutation = np.random.default_rng(1).permutation(
+            len(instance.batches)
+        )
+        with ParallelStreamEngine(
+            instance.domain_size, PARAMS, synopsis="skimmed", seed=13,
+            workers=3, mode=mode,
+        ) as engine:
+            for name, predicate in instance.streams.items():
+                engine.register_stream(name, predicate=predicate)
+            for index in permutation:
+                batch = instance.batches[index]
+                engine.process_bulk(batch.stream, batch.values, batch.weights)
+            for left, right in instance.queries:
+                query = (
+                    SelfJoinQuery(left)
+                    if left == right
+                    else JoinCountQuery(left, right)
+                )
+                assert engine.answer(query) == serial.answer(query)
+            for name in instance.streams:
+                assert states_equal(
+                    engine.synopsis_for(name), serial.synopsis_for(name)
+                )
+
+
 class TestCli:
     def test_selfcheck_passes(self, capsys):
         code = parallel_main(
