@@ -10,11 +10,15 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static analysis: the domain-invariant linter (always) plus mypy strict
-# on the kernel packages (when mypy is installed — `pip install -e .[lint]`).
-# See docs/STATIC_ANALYSIS.md for the rule catalogue.
+# Static analysis: the domain-invariant linter (always; includes the
+# interprocedural R9/R10/R11 passes), a strict audit of every
+# `# repro: noqa[...]` suppression (each must carry a reason), plus mypy
+# strict on the kernel packages (when mypy is installed —
+# `pip install -e .[lint]`).  See docs/STATIC_ANALYSIS.md.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src tests examples benchmarks
+	PYTHONPATH=src $(PYTHON) -m repro.analysis suppressions \
+		src tests examples benchmarks --strict
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy; \
 	else \

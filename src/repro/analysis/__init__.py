@@ -6,7 +6,7 @@ Section 4.3), sign families must be four-wise independent, per-element
 update cost must stay ``O(depth)`` — which in this repo means vectorised
 numpy kernels with explicit dtypes, never Python-level per-element
 loops.  This package makes those conventions machine-checked: a
-dependency-free (stdlib ``ast``) rule engine, a CLI, and seven rules:
+dependency-free (stdlib ``ast``) rule engine, a CLI, and eleven rules:
 
 * **R1** — explicit ``dtype`` in kernel array construction;
 * **R2** — no per-element Python loops in kernel hot paths;
@@ -14,16 +14,33 @@ dependency-free (stdlib ``ast``) rule engine, a CLI, and seven rules:
 * **R4** — sketch randomness constructed via ``*Schema`` objects only;
 * **R5** — library errors derive from ``repro.errors``;
 * **R6** — RNGs constructed with explicit seeds;
-* **R7** — ``_TRACER`` span recording guarded by the ``enabled`` flag.
+* **R7** — ``_TRACER`` span recording guarded by the ``enabled`` flag;
+* **R8** — estimator entry points audited by the monitor plane;
+* **R9** — counter mutations flow through the sanctioned linear
+  primitives (interprocedural, over the project call graph);
+* **R10** — worker-plane code never writes coordinator/module state
+  outside the flush/merge seam (interprocedural);
+* **R11** — numpy dtypes propagated through locals/calls/returns prove
+  the int64-values / float64-counters invariants (interprocedural).
+
+R9–R11 are *project-scoped*: they see every analysed file at once
+through :mod:`repro.analysis.flow`'s call graph instead of one file at
+a time.
 
 Run it::
 
     PYTHONPATH=src python -m repro.analysis src tests
     PYTHONPATH=src python -m repro.analysis --catalogue
     PYTHONPATH=src python -m repro.analysis --json src
+    PYTHONPATH=src python -m repro.analysis --select R9,R10,R11 src
+    PYTHONPATH=src python -m repro.analysis --sarif out.sarif src
+    PYTHONPATH=src python -m repro.analysis --graph-out graph.json src
+    PYTHONPATH=src python -m repro.analysis suppressions src --strict
 
-Suppress a deliberate exception with ``# repro: noqa[R1]`` on the
-finding's line.  Full rule catalogue: ``docs/STATIC_ANALYSIS.md``.
+Suppress a deliberate exception with ``# repro: noqa[R1]`` plus a
+reason comment on the finding's line (the ``suppressions`` subcommand
+audits every site and ``--strict`` rejects reason-less ones).  Full
+rule catalogue: ``docs/STATIC_ANALYSIS.md``.
 
 Like :mod:`repro.obs`, this package imports **only the standard
 library** (no numpy, no intra-repo modules) so it can lint any checkout
@@ -38,21 +55,31 @@ from .cli import main
 from .context import FileContext, Role, classify
 from .engine import Report, analyze_paths, analyze_source, iter_python_files
 from .findings import Finding
+from .flow import CallGraph, DtypeInterpreter, ProjectContext
 from .registry import Rule, all_rules, catalogue, get_rules, register
+from .sarif import to_sarif
+from .suppress import Suppression, audit, collect_suppressions
 
 __all__ = [
+    "CallGraph",
+    "DtypeInterpreter",
     "FileContext",
     "Finding",
+    "ProjectContext",
     "Report",
     "Role",
     "Rule",
+    "Suppression",
     "all_rules",
     "analyze_paths",
     "analyze_source",
+    "audit",
     "catalogue",
     "classify",
+    "collect_suppressions",
     "get_rules",
     "iter_python_files",
     "main",
     "register",
+    "to_sarif",
 ]

@@ -1,0 +1,621 @@
+"""A small numpy-dtype lattice and abstract interpreter (stdlib only).
+
+R1 spot-checks dtypes at allocation sites; this module *propagates* them:
+an abstract interpreter walks kernel function bodies tracking the dtype
+of every local through assignments, arithmetic, indexing, numpy calls,
+and — via call-graph-resolved summaries — through calls to other kernel
+functions, so the int64-values / float64-counters invariants can be
+checked at the seams where arrays actually enter the sketch algebra.
+
+The value lattice::
+
+            unknown                (top: absorbs everything)
+           /   |    \\
+    float64  uint64   ...
+       |
+     int64
+       |
+     int32
+       |
+     int8
+       |
+     bool
+       \\   |   /
+        bottom                     (unreached)
+
+``join`` is commutative, associative and idempotent (property-tested);
+``uint64`` joined with any signed/float dtype is ``float64`` (numpy's
+promotion), with ``bool`` it stays ``uint64``.  Anything the interpreter
+cannot prove becomes ``unknown``, and unknown values never produce
+findings — the passes only report *provable* violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from .callgraph import CallGraph, FunctionNode
+
+#: Lattice bottom: no execution path reached this value yet.
+BOTTOM = "bottom"
+#: Lattice top: dtype not provable; never produces findings.
+UNKNOWN = "unknown"
+#: The concrete dtypes the lattice models (all the kernels use).
+DTYPES = ("bool", "int8", "int32", "int64", "uint64", "float64")
+
+#: Internal marker for python numeric literals/scalars: they adapt to the
+#: other operand's dtype (numpy value-based casting) and are deliberately
+#: *not* lattice elements — ``join`` never sees them.
+_PYNUM = "pynum"
+
+_LADDER = {"bool": 0, "int8": 1, "int32": 2, "int64": 3, "float64": 4}
+
+
+def join(a: str, b: str) -> str:
+    """Least upper bound of two lattice elements (see module docstring)."""
+    if a == BOTTOM:
+        return b
+    if b == BOTTOM:
+        return a
+    if a == b:
+        return a
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if "uint64" in (a, b):
+        other = b if a == "uint64" else a
+        return "uint64" if other == "bool" else "float64"
+    return a if _LADDER[a] >= _LADDER[b] else b
+
+
+@dataclass(frozen=True)
+class AValue:
+    """An abstract value: a lattice dtype (or tuple of them) + provenance.
+
+    ``origin`` names the call or annotation that pinned the dtype, so a
+    finding two calls away can say *where* the offending dtype came from.
+    """
+
+    dtype: "str | tuple[str, ...]"
+    origin: str | None = None
+
+    def is_tuple(self) -> bool:
+        """True when this value is a tuple of abstract dtypes."""
+        return isinstance(self.dtype, tuple)
+
+
+_UNKNOWN_VALUE = AValue(UNKNOWN)
+_PYNUM_VALUE = AValue(_PYNUM)
+
+
+def _scalar(value: AValue) -> str:
+    """The scalar dtype of ``value`` (tuples collapse to unknown)."""
+    return UNKNOWN if value.is_tuple() else str(value.dtype)
+
+
+def join_values(a: AValue, b: AValue) -> AValue:
+    """Pointwise join; provenance survives when the dtype does."""
+    if a.dtype == BOTTOM:
+        return b
+    if b.dtype == BOTTOM:
+        return a
+    if a.is_tuple() and b.is_tuple() and len(a.dtype) == len(b.dtype):
+        return AValue(tuple(join(x, y) for x, y in zip(a.dtype, b.dtype)))
+    da, db = _scalar(a), _scalar(b)
+    if da == _PYNUM:
+        return b
+    if db == _PYNUM:
+        return a
+    joined = join(da, db)
+    origin = a.origin if joined == da else b.origin if joined == db else None
+    return AValue(joined, origin)
+
+
+def _combine(a: AValue, b: AValue) -> AValue:
+    """Binary-arithmetic result dtype (promotion via join; pynum adapts)."""
+    return join_values(a, b)
+
+
+@dataclass
+class CallSite:
+    """One call observed during interpretation, with evaluated arguments."""
+
+    node: ast.Call
+    func_name: str  #: bare callee name (attribute or plain name)
+    callees: list[str]  #: resolved callee qualnames (may be empty)
+    args: list[AValue]
+    keywords: dict[str, AValue]
+
+
+@dataclass
+class AttrWrite:
+    """A plain assignment ``recv.attr = expr`` observed during interpretation."""
+
+    node: ast.AST
+    attr: str
+    value: AValue
+    receiver_is_self: bool
+
+
+@dataclass
+class Inference:
+    """Everything the interpreter learned about one function body."""
+
+    calls: list[CallSite] = field(default_factory=list)
+    attr_writes: list[AttrWrite] = field(default_factory=list)
+    return_value: AValue = AValue(BOTTOM)
+
+
+#: Names ``numpy`` is conventionally imported as.
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+#: numpy factory/ufunc result dtypes keyed by bare function name.
+_NP_FLOAT64 = frozenset({"median", "mean", "sqrt", "std", "var", "average"})
+_NP_INT64 = frozenset({"flatnonzero", "argsort", "argmin", "argmax", "searchsorted", "count_nonzero"})
+_NP_BOOL = frozenset(
+    {"isfinite", "isnan", "isinf", "equal", "not_equal", "greater", "greater_equal", "less", "less_equal", "logical_and", "logical_or", "logical_not"}
+)
+_NP_PASSTHROUGH = frozenset({"abs", "absolute", "sort", "repeat", "sign", "negative", "ascontiguousarray", "atleast_1d", "ravel", "concatenate", "copy"})
+_METHOD_PASSTHROUGH = frozenset(
+    {"copy", "ravel", "reshape", "flatten", "squeeze", "transpose", "clip", "round", "sum", "min", "max", "cumsum", "prod", "item", "astype"}
+)
+
+
+def _dtype_from_expr(node: ast.expr | None) -> str:
+    """Map a ``dtype=`` argument expression onto a lattice element."""
+    if node is None:
+        return UNKNOWN
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id in _NUMPY_ALIASES:
+            name = "bool" if node.attr == "bool_" else node.attr
+            return name if name in DTYPES else UNKNOWN
+    if isinstance(node, ast.Name):
+        return {"bool": "bool", "int": "int64", "float": "float64"}.get(
+            node.id, UNKNOWN
+        )
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in DTYPES else UNKNOWN
+    return UNKNOWN
+
+
+class DtypeInterpreter:
+    """Abstract interpreter over kernel functions with call summaries.
+
+    ``graph`` (optional) enables interprocedural propagation: calls that
+    resolve to project functions take the callee's summarised return
+    dtype, computed on demand and memoised (recursion bottoms out at
+    :data:`BOTTOM`, the join identity).
+    """
+
+    def __init__(self, graph: "CallGraph | None" = None) -> None:
+        self._graph = graph
+        self._summaries: dict[str, AValue] = {}
+        self._in_progress: set[str] = set()
+        self._attr_envs: dict[str, dict[str, AValue]] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def analyze(self, fn: "FunctionNode") -> Inference:
+        """Interpret one function body and report what was observed."""
+        result = Inference()
+        env = self._seed_env(fn)
+        self._exec_block(fn, fn.node.body, env, result)
+        if result.return_value.dtype == BOTTOM:
+            result.return_value = _UNKNOWN_VALUE
+        return result
+
+    def summary(self, qualname: str) -> AValue:
+        """Memoised return-dtype summary for a project function."""
+        if self._graph is None or qualname not in self._graph.functions:
+            return _UNKNOWN_VALUE
+        if qualname in self._summaries:
+            return self._summaries[qualname]
+        if qualname in self._in_progress:  # recursion: join identity
+            return AValue(BOTTOM)
+        self._in_progress.add(qualname)
+        try:
+            inference = self.analyze(self._graph.functions[qualname])
+        finally:
+            self._in_progress.discard(qualname)
+        value = inference.return_value
+        if value.origin is None and not value.is_tuple() and value.dtype in DTYPES:
+            value = AValue(value.dtype, f"returned by {qualname}")
+        self._summaries[qualname] = value
+        return value
+
+    def attr_env(self, class_qualname: str) -> dict[str, AValue]:
+        """``self.<attr>`` dtypes established by the class's ``__init__``."""
+        if class_qualname in self._attr_envs:
+            return self._attr_envs[class_qualname]
+        env: dict[str, AValue] = {}
+        self._attr_envs[class_qualname] = env  # pre-bind to stop recursion
+        if self._graph is not None:
+            cls = self._graph.classes.get(class_qualname)
+            init = cls.methods.get("__init__") if cls else None
+            if init is not None:
+                inference = self.analyze(self._graph.functions[init])
+                for write in inference.attr_writes:
+                    if write.receiver_is_self:
+                        existing = env.get(write.attr, AValue(BOTTOM))
+                        env[write.attr] = join_values(existing, write.value)
+        return env
+
+    # -- environment -----------------------------------------------------------
+
+    def _seed_env(self, fn: "FunctionNode") -> dict[str, AValue]:
+        env: dict[str, AValue] = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            env[arg.arg] = _UNKNOWN_VALUE
+        return env
+
+    # -- statement execution -----------------------------------------------------
+
+    def _exec_block(
+        self,
+        fn: "FunctionNode",
+        stmts: Sequence[ast.stmt],
+        env: dict[str, AValue],
+        result: Inference,
+    ) -> None:
+        for stmt in stmts:
+            self._exec(fn, stmt, env, result)
+
+    def _exec(
+        self,
+        fn: "FunctionNode",
+        stmt: ast.stmt,
+        env: dict[str, AValue],
+        result: Inference,
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(fn, stmt.value, env, result)
+            for target in stmt.targets:
+                self._assign(fn, target, value, env, result)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = self._eval(fn, stmt.value, env, result)
+            self._assign(fn, stmt.target, value, env, result)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(fn, stmt.value, env, result)
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, _UNKNOWN_VALUE)
+                env[stmt.target.id] = _combine(current, value)
+            # In-place ops on attributes cannot rebind the array dtype.
+        elif isinstance(stmt, (ast.If,)):
+            self._eval(fn, stmt.test, env, result)
+            before = dict(env)
+            self._exec_block(fn, stmt.body, env, result)
+            other = before
+            self._exec_block(fn, stmt.orelse, other, result)
+            self._merge_env(env, other)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterated = self._eval(fn, stmt.iter, env, result)
+            self._assign(fn, stmt.target, AValue(_scalar(iterated)), env, result)
+            before = dict(env)
+            # Two passes approximate the loop fixpoint for loop-carried vars.
+            self._exec_block(fn, stmt.body, env, result)
+            self._exec_block(fn, stmt.body, env, result)
+            self._exec_block(fn, stmt.orelse, env, result)
+            self._merge_env(env, before)
+        elif isinstance(stmt, ast.While):
+            self._eval(fn, stmt.test, env, result)
+            before = dict(env)
+            self._exec_block(fn, stmt.body, env, result)
+            self._exec_block(fn, stmt.orelse, env, result)
+            self._merge_env(env, before)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(fn, item.context_expr, env, result)
+                if item.optional_vars is not None:
+                    self._assign(fn, item.optional_vars, value, env, result)
+            self._exec_block(fn, stmt.body, env, result)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(fn, stmt.body, env, result)
+            for handler in stmt.handlers:
+                branch = dict(env)
+                self._exec_block(fn, handler.body, branch, result)
+                self._merge_env(env, branch)
+            self._exec_block(fn, stmt.orelse, env, result)
+            self._exec_block(fn, stmt.finalbody, env, result)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(fn, stmt.value, env, result)
+                result.return_value = join_values(result.return_value, value)
+            else:
+                result.return_value = join_values(
+                    result.return_value, _UNKNOWN_VALUE
+                )
+        elif isinstance(stmt, ast.Expr):
+            self._eval(fn, stmt.value, env, result)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(fn, child, env, result)
+        # Nested defs/classes, imports, pass, etc.: no dtype effect here.
+
+    @staticmethod
+    def _merge_env(env: dict[str, AValue], other: dict[str, AValue]) -> None:
+        for name in set(env) | set(other):
+            env[name] = join_values(
+                env.get(name, _UNKNOWN_VALUE), other.get(name, _UNKNOWN_VALUE)
+            )
+
+    def _assign(
+        self,
+        fn: "FunctionNode",
+        target: ast.expr,
+        value: AValue,
+        env: dict[str, AValue],
+        result: Inference,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = (
+                [AValue(d) for d in value.dtype]
+                if value.is_tuple() and len(value.dtype) == len(target.elts)
+                else [_UNKNOWN_VALUE] * len(target.elts)
+            )
+            for elt, elt_value in zip(target.elts, elements):
+                self._assign(fn, elt, elt_value, env, result)
+        elif isinstance(target, ast.Attribute):
+            result.attr_writes.append(
+                AttrWrite(
+                    node=target,
+                    attr=target.attr,
+                    value=value,
+                    receiver_is_self=(
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ),
+                )
+            )
+        # Subscript stores cannot rebind an array's dtype: ignored.
+
+    # -- expression evaluation ---------------------------------------------------
+
+    def _eval(
+        self,
+        fn: "FunctionNode",
+        node: ast.expr,
+        env: dict[str, AValue],
+        result: Inference,
+    ) -> AValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return AValue("bool")
+            if isinstance(node.value, (int, float)):
+                return _PYNUM_VALUE
+            return _UNKNOWN_VALUE
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _UNKNOWN_VALUE)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if fn.class_qualname is not None:
+                    return self.attr_env(fn.class_qualname).get(
+                        node.attr, _UNKNOWN_VALUE
+                    )
+            return _UNKNOWN_VALUE
+        if isinstance(node, ast.BinOp):
+            left = self._eval(fn, node.left, env, result)
+            right = self._eval(fn, node.right, env, result)
+            if isinstance(node.op, ast.Div):
+                if UNKNOWN in (_scalar(left), _scalar(right)):
+                    return _UNKNOWN_VALUE
+                return AValue("float64")
+            return _combine(left, right)
+        if isinstance(node, ast.BoolOp):
+            values = [self._eval(fn, v, env, result) for v in node.values]
+            out = values[0]
+            for value in values[1:]:
+                out = join_values(out, value)
+            return out
+        if isinstance(node, ast.Compare):
+            self._eval(fn, node.left, env, result)
+            for comp in node.comparators:
+                self._eval(fn, comp, env, result)
+            return AValue("bool")
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(fn, node.operand, env, result)
+            return AValue("bool") if isinstance(node.op, ast.Not) else operand
+        if isinstance(node, ast.Call):
+            return self._eval_call(fn, node, env, result)
+        if isinstance(node, ast.Subscript):
+            value = self._eval(fn, node.value, env, result)
+            self._eval(fn, node.slice, env, result)
+            if value.is_tuple():
+                if isinstance(node.slice, ast.Constant) and isinstance(
+                    node.slice.value, int
+                ):
+                    index = node.slice.value
+                    if 0 <= index < len(value.dtype):
+                        return AValue(value.dtype[index], value.origin)
+                return _UNKNOWN_VALUE
+            return value  # indexing/masking preserves the array dtype
+        if isinstance(node, ast.Tuple):
+            elements = [self._eval(fn, elt, env, result) for elt in node.elts]
+            return AValue(tuple(_scalar(e) for e in elements))
+        if isinstance(node, ast.IfExp):
+            self._eval(fn, node.test, env, result)
+            return join_values(
+                self._eval(fn, node.body, env, result),
+                self._eval(fn, node.orelse, env, result),
+            )
+        if isinstance(node, (ast.List, ast.Set, ast.Dict, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for child in ast.walk(node):
+                if isinstance(child, ast.Call):
+                    self._eval_call(fn, child, env, result)
+            return _UNKNOWN_VALUE
+        if isinstance(node, ast.Starred):
+            return self._eval(fn, node.value, env, result)
+        return _UNKNOWN_VALUE
+
+    def _eval_call(
+        self,
+        fn: "FunctionNode",
+        node: ast.Call,
+        env: dict[str, AValue],
+        result: Inference,
+    ) -> AValue:
+        args = [self._eval(fn, arg, env, result) for arg in node.args]
+        keywords = {
+            kw.arg: self._eval(fn, kw.value, env, result)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        func = node.func
+        value = self._builtin_or_numpy(fn, node, func, args, keywords, env, result)
+        callees: list[str] = []
+        func_name = ""
+        if value is None:
+            # Project functions via the call graph: join of callee summaries.
+            if self._graph is not None:
+                caller = self._graph.functions.get(fn.qualname, fn)
+                callees = self._graph.resolve_call(caller, func)
+            func_name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else ""
+            )
+            if callees:
+                value = AValue(BOTTOM)
+                for callee in callees:
+                    value = join_values(value, self.summary(callee))
+                if value.dtype == BOTTOM:
+                    value = _UNKNOWN_VALUE
+            else:
+                value = _UNKNOWN_VALUE
+        else:
+            func_name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else ""
+            )
+        result.calls.append(
+            CallSite(
+                node=node,
+                func_name=func_name,
+                callees=callees,
+                args=args,
+                keywords=keywords,
+            )
+        )
+        return value
+
+    def _builtin_or_numpy(
+        self,
+        fn: "FunctionNode",
+        node: ast.Call,
+        func: ast.expr,
+        args: list[AValue],
+        keywords: dict[str, AValue],
+        env: dict[str, AValue],
+        result: Inference,
+    ) -> AValue | None:
+        """Known builtin/numpy/ndarray-method semantics (``None`` = not known)."""
+        arg0 = args[0] if args else _UNKNOWN_VALUE
+
+        def pinned(dtype: str) -> AValue:
+            return AValue(dtype, f"np.{name}(dtype=...) at line {node.lineno}")
+
+        if isinstance(func, ast.Name):
+            if func.id == "float":
+                return AValue("float64")
+            if func.id == "int":
+                return AValue("int64")
+            if func.id == "bool":
+                return AValue("bool")
+            if func.id == "abs":
+                return arg0
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        name = func.attr
+        base = func.value
+        is_numpy = isinstance(base, ast.Name) and base.id in _NUMPY_ALIASES
+        if is_numpy:
+            dtype_kw = next(
+                (kw.value for kw in node.keywords if kw.arg == "dtype"), None
+            )
+            if name in ("asarray", "array", "ascontiguousarray"):
+                if dtype_kw is not None:
+                    return pinned(_dtype_from_expr(dtype_kw))
+                return AValue(_scalar(arg0), arg0.origin)
+            if name in ("zeros", "empty", "ones", "full"):
+                if dtype_kw is not None:
+                    return pinned(_dtype_from_expr(dtype_kw))
+                return AValue("float64", f"np.{name} default dtype")
+            if name.endswith("_like") and name[: -len("_like")] in (
+                "zeros",
+                "empty",
+                "ones",
+                "full",
+            ):
+                if dtype_kw is not None:
+                    return pinned(_dtype_from_expr(dtype_kw))
+                return arg0
+            if name == "arange":
+                return pinned(_dtype_from_expr(dtype_kw)) if dtype_kw else _UNKNOWN_VALUE
+            if name == "bincount":
+                has_weights = "weights" in keywords or len(args) >= 2
+                return AValue(
+                    "float64" if has_weights else "int64",
+                    f"np.bincount at line {node.lineno}",
+                )
+            if name == "unique":
+                extras = sum(
+                    1
+                    for kw in node.keywords
+                    if kw.arg in ("return_index", "return_inverse", "return_counts")
+                )
+                if extras:
+                    return AValue((_scalar(arg0), *("int64",) * extras))
+                return arg0
+            if name in ("minimum", "maximum"):
+                return _combine(arg0, args[1] if len(args) > 1 else _UNKNOWN_VALUE)
+            if name == "where" and len(args) == 3:
+                return _combine(args[1], args[2])
+            if name in ("einsum", "dot", "inner", "matmul"):
+                out = AValue(BOTTOM)
+                for value in args:
+                    if _scalar(value) == UNKNOWN:
+                        return _UNKNOWN_VALUE
+                    if _scalar(value) != _PYNUM:
+                        out = join_values(out, value)
+                return out if out.dtype != BOTTOM else _UNKNOWN_VALUE
+            if name in ("sum", "cumsum", "prod", "max", "min"):
+                if dtype_kw is not None:
+                    return pinned(_dtype_from_expr(dtype_kw))
+                return arg0
+            if name in _NP_FLOAT64:
+                return AValue("float64", f"np.{name} at line {node.lineno}")
+            if name in _NP_INT64:
+                return AValue("int64", f"np.{name} at line {node.lineno}")
+            if name in _NP_BOOL:
+                return AValue("bool")
+            if name in _NP_PASSTHROUGH:
+                return arg0
+            if name == "bool_":
+                return AValue("bool")
+            if name in DTYPES:  # np.int64(x) scalar constructors
+                return AValue(name)
+            return _UNKNOWN_VALUE  # unmodelled numpy call: stay silent
+        # ndarray-ish method calls on an evaluated receiver.
+        receiver = self._eval(fn, base, env, result)
+        if name == "astype":
+            target = next(
+                (kw.value for kw in node.keywords if kw.arg == "dtype"),
+                node.args[0] if node.args else None,
+            )
+            return AValue(
+                _dtype_from_expr(target), f".astype(...) at line {node.lineno}"
+            )
+        if name in ("mean", "std", "var"):
+            return AValue("float64")
+        if name in ("argsort", "argmin", "argmax"):
+            return AValue("int64")
+        if name in _METHOD_PASSTHROUGH:
+            return receiver
+        return None  # unknown method: let the call graph try

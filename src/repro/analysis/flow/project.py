@@ -1,0 +1,43 @@
+"""ProjectContext: everything a *project-scoped* rule needs.
+
+The multi-file analogue of :class:`~repro.analysis.context.FileContext`:
+every parsed file of the run, plus the lazily-built call graph the
+interprocedural passes share (built at most once per analysis run, only
+when a project rule actually executes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..context import FileContext, Role
+from .callgraph import CallGraph, FunctionNode
+
+
+class ProjectContext:
+    """All parsed files of one analysis run plus their shared call graph."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self.contexts: list[FileContext] = list(contexts)
+        self._by_path = {ctx.path: ctx for ctx in self.contexts}
+        self._graph: CallGraph | None = None
+
+    @property
+    def graph(self) -> CallGraph:
+        """The project call graph (built on first access, then cached)."""
+        if self._graph is None:
+            self._graph = CallGraph.build(self.contexts)
+        return self._graph
+
+    def context_for(self, path: str) -> FileContext | None:
+        """The file context a finding at ``path`` belongs to."""
+        return self._by_path.get(path)
+
+    def functions(self, roles: frozenset[Role] | None = None) -> Iterator[FunctionNode]:
+        """Every function node, optionally restricted to files of ``roles``."""
+        for fn in self.graph.functions.values():
+            ctx = self._by_path.get(fn.path)
+            if ctx is None:
+                continue
+            if roles is None or ctx.role in roles:
+                yield fn

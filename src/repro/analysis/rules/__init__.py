@@ -11,6 +11,9 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     r6_rng,
     r7_tracing,
     r8_audit,
+    r9_linearity,
+    r10_concurrency,
+    r11_dtypeflow,
 )
 
 __all__ = [
@@ -22,4 +25,7 @@ __all__ = [
     "r6_rng",
     "r7_tracing",
     "r8_audit",
+    "r9_linearity",
+    "r10_concurrency",
+    "r11_dtypeflow",
 ]

@@ -1,0 +1,186 @@
+"""R11 — interprocedural numpy-dtype propagation through the kernels."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..context import Role
+from ..findings import Finding
+from ..flow.dtypes import DTYPES, AValue, DtypeInterpreter, _scalar
+from ..registry import Rule, register
+
+if TYPE_CHECKING:
+    from ..flow.callgraph import CallGraph
+    from ..flow.project import ProjectContext
+
+#: Dtypes acceptable for *domain value* arguments (array indices into the
+#: stream domain).  ``bool`` is excluded on purpose: a boolean array in a
+#: values position is almost certainly a mask passed where indices belong.
+_VALUES_OK = frozenset({"int8", "int32", "int64", "uint64"})
+
+#: Dtypes acceptable for *mass/weight/frequency* arguments; integers
+#: convert to float64 exactly, ``bool``/``uint64`` signal a bug upstream.
+_MASSES_OK = frozenset({"int8", "int32", "int64", "float64"})
+
+#: Argument contracts of the sketch-algebra seams, keyed by bare callee
+#: name: (position, keyword, family, description).
+_SINKS: dict[str, tuple[tuple[int, str, frozenset[str], str], ...]] = {
+    "update_bulk": (
+        (0, "values", _VALUES_OK, "domain values"),
+        (1, "weights", _MASSES_OK, "weights"),
+    ),
+    "update_coalesced": (
+        (0, "values", _VALUES_OK, "domain values"),
+        (1, "masses", _MASSES_OK, "masses"),
+    ),
+    "subtract_frequencies": (
+        (0, "values", _VALUES_OK, "domain values"),
+        (1, "frequencies", _MASSES_OK, "frequencies"),
+    ),
+    "_apply_point_masses": (
+        (0, "values", _VALUES_OK, "domain values"),
+        (1, "masses", _MASSES_OK, "masses"),
+    ),
+    "point_estimates": ((0, "values", _VALUES_OK, "domain values"),),
+    "bulk_tables": ((0, "values", _VALUES_OK, "domain values"),),
+    "coalesce_updates": (
+        (0, "values", _VALUES_OK, "domain values"),
+        (1, "weights", _MASSES_OK, "weights"),
+    ),
+}
+
+#: Return-dtype contracts by bare function name: estimates are float64;
+#: ``coalesce_updates`` returns (int64 uniques, float64 masses).
+_RETURNS: dict[str, tuple[str, ...]] = {
+    "point_estimates": ("float64",),
+    "all_point_estimates": ("float64",),
+    "table_join_estimates": ("float64",),
+    "coalesce_updates": ("int64", "float64"),
+}
+
+
+@register
+class KernelDtypeFlow(Rule):
+    """Prove the int64-values / float64-counters invariants hold end to end.
+
+    R1 checks dtypes where arrays are *allocated*; this pass checks them
+    where arrays are *used*.  An abstract interpreter propagates numpy
+    dtypes through locals, arithmetic, indexing, and — via the project
+    call graph — through calls and returns of other kernel functions,
+    then verifies at every sketch-algebra seam that domain values arrive
+    integer-typed and masses arrive float-compatible, that ``_counters``
+    arrays are (re)bound float64, and that estimate functions return
+    float64.  Only *provable* violations fire: an unknown dtype is
+    silent, so the pass adds no false-positive burden as kernels grow.
+
+    Example violation::
+
+        def masses_of(batch):
+            return np.asarray(batch, dtype=np.float64)
+
+        def ingest(sketch, batch):
+            sketch.update_coalesced(masses_of(batch), batch)   # R11
+
+    (the float64 array produced two calls away lands in the integer
+    ``values`` seat).  Fix: keep values ``int64`` end to end and pass
+    masses in the masses seat.
+    """
+
+    rule_id = "R11"
+    title = "kernel dtype invariants hold through calls and returns"
+    scope = "project"
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        kernel_fns = sorted(
+            project.functions(roles=frozenset({Role.KERNEL})),
+            key=lambda f: f.qualname,
+        )
+        if not kernel_fns:
+            return
+        graph = project.graph
+        interp = DtypeInterpreter(graph)
+        for fn in kernel_fns:
+            inference = interp.analyze(fn)
+            yield from self._check_counter_writes(fn, graph, inference)
+            yield from self._check_sinks(fn, graph, inference)
+            yield from self._check_returns(fn, graph, inference)
+
+    def _check_counter_writes(self, fn, graph, inference) -> Iterator[Finding]:
+        for write in inference.attr_writes:
+            if write.attr != "_counters":
+                continue
+            dtype = _scalar(write.value)
+            if dtype in DTYPES and dtype != "float64":
+                yield Finding(
+                    self.rule_id,
+                    fn.path,
+                    write.node.lineno,
+                    write.node.col_offset,
+                    f"`_counters` bound to a {dtype} array in {fn.qualname}"
+                    f"{_origin(write.value)}; counters must be float64 "
+                    "(exact integer arithmetic up to 2**53 plus fractional "
+                    f"masses){_via(graph, fn)}",
+                )
+
+    def _check_sinks(self, fn, graph, inference) -> Iterator[Finding]:
+        for call in inference.calls:
+            contracts = _SINKS.get(call.func_name)
+            if contracts is None:
+                continue
+            for position, keyword, allowed, describe in contracts:
+                if keyword in call.keywords:
+                    value = call.keywords[keyword]
+                elif position < len(call.args):
+                    value = call.args[position]
+                else:
+                    continue
+                dtype = _scalar(value)
+                if dtype in DTYPES and dtype not in allowed:
+                    expected = (
+                        "an integer array"
+                        if allowed is _VALUES_OK
+                        else "a float64-compatible array"
+                    )
+                    yield Finding(
+                        self.rule_id,
+                        fn.path,
+                        call.node.lineno,
+                        call.node.col_offset,
+                        f"{describe} argument `{keyword}` of "
+                        f"{call.func_name} has dtype {dtype}"
+                        f"{_origin(value)} but must be {expected}"
+                        f"{_via(graph, fn)}",
+                    )
+
+    def _check_returns(self, fn, graph, inference) -> Iterator[Finding]:
+        expected = _RETURNS.get(fn.name)
+        if expected is None:
+            return
+        value = inference.return_value
+        actual: tuple[str, ...]
+        if value.is_tuple():
+            actual = tuple(value.dtype)
+        else:
+            actual = (str(value.dtype),)
+        if len(expected) != len(actual) and len(expected) > 1:
+            return  # structure not proven; stay silent
+        for want, got in zip(expected, actual):
+            if got in DTYPES and got != want:
+                yield Finding(
+                    self.rule_id,
+                    fn.path,
+                    fn.lineno,
+                    0,
+                    f"{fn.qualname} returns {got}{_origin(value)} but its "
+                    f"contract requires {want}{_via(graph, fn)}",
+                )
+                return
+
+
+def _origin(value: AValue) -> str:
+    return f" ({value.origin})" if value.origin else ""
+
+
+def _via(graph: "CallGraph", fn) -> str:
+    path = graph.call_path_to(fn.qualname)
+    return f"; call path: {' -> '.join(path)}"

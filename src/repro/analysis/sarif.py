@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 export of an analysis report.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests; ``python -m repro.analysis --sarif out.sarif``
+writes one and CI uploads it, so findings annotate pull requests inline.
+Only stable, schema-required fields are emitted — rule metadata comes
+from the same docstrings that drive ``--catalogue``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from .engine import Report
+from .findings import PARSE_ERROR_RULE, Finding
+from .registry import all_rules
+
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+_VERSION = "2.1.0"
+
+
+def _rule_descriptors(findings: list[Finding]) -> list[dict[str, object]]:
+    """``tool.driver.rules`` entries for every registered rule (plus the
+    parse-error pseudo-rule when it actually fired)."""
+    descriptors = []
+    for rule in all_rules():
+        doc = inspect.cleandoc(rule.__doc__ or "")
+        descriptors.append(
+            {
+                "id": rule.rule_id,
+                "name": rule.__class__.__name__,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": doc.split("\n\n")[0]},
+                "help": {"text": doc},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    if any(f.rule == PARSE_ERROR_RULE for f in findings):
+        descriptors.append(
+            {
+                "id": PARSE_ERROR_RULE,
+                "name": "ParseError",
+                "shortDescription": {"text": "file does not parse"},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(report: Report) -> dict[str, object]:
+    """Render ``report`` as a SARIF 2.1.0 log (a JSON-ready dict)."""
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": _VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": _rule_descriptors(report.findings),
+                    }
+                },
+                "results": [_result(f) for f in report.findings],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

@@ -280,7 +280,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in args.experiments:
             # Timer powers the printed wall-clock line even with telemetry
             # off (it only *records* when enabled).
-            timer = METRICS.timer("eval.experiment.seconds")  # repro: noqa[R3]
+            timer = METRICS.timer("eval.experiment.seconds")  # repro: noqa[R3] -- timer also powers the printed wall-clock line with telemetry off
             print(f"== {name} ==")
             with timer:
                 if METRICS.enabled:

@@ -34,7 +34,7 @@ def as_field_elements(values: np.ndarray | list[int] | int) -> np.ndarray:
     """
     # Deliberately dtype-free: this is the kernels' integer-dispatch gate
     # (any int dtype in, validated, then reduced to uint64 below).
-    arr = np.asarray(values)  # repro: noqa[R1]
+    arr = np.asarray(values)  # repro: noqa[R1] -- deliberately dtype-free integer-dispatch gate (validated then reduced to uint64)
     if arr.dtype.kind not in ("i", "u"):
         raise TypeError(f"field elements must be integers, got dtype {arr.dtype}")
     if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:

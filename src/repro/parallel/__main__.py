@@ -15,8 +15,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import TYPE_CHECKING
 
 from ..errors import ReproError
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from ..sketches.serialize import AnySketch
 
 _DEFAULT_MODES = "serial,thread,process"
 
@@ -64,7 +70,9 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _seeded_stream(domain: int, elements: int, seed: int):
+def _seeded_stream(
+    domain: int, elements: int, seed: int
+) -> "tuple[np.ndarray, np.ndarray]":
     """Deterministic values + integer-valued weights (5% deletions)."""
     import numpy as np
 
@@ -75,7 +83,7 @@ def _seeded_stream(domain: int, elements: int, seed: int):
     return values, weights
 
 
-def _counters_equal(left, right) -> bool:
+def _counters_equal(left: "AnySketch", right: "AnySketch") -> bool:
     """Bit-level equality of two synopses via their serialised states."""
     import numpy as np
 

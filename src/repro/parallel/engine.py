@@ -24,6 +24,7 @@ from .shards import INGEST_MODES, ShardedIngestor
 
 if TYPE_CHECKING:
     from ..core.config import SketchParameters
+    from ..sketches.serialize import AnySketch
 
 __all__ = ["ParallelStreamEngine"]
 
@@ -120,7 +121,7 @@ class ParallelStreamEngine(StreamEngine):
         self.flush()
         return super().answer_sql(text)
 
-    def synopsis_for(self, stream: str):
+    def synopsis_for(self, stream: str) -> "AnySketch":
         """Direct access to a stream's merged synopsis."""
         ingestor = self._ingestors.get(stream)
         if ingestor is not None:

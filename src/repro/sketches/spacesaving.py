@@ -99,13 +99,13 @@ class SpaceSaving(StreamSynopsis):
             # Space-Saving is inherently sequential (each eviction depends
             # on all prior state); per-element is the algorithm, not a
             # regression.  See docs/STATIC_ANALYSIS.md (R2).
-            for value in values:  # repro: noqa[R2]
+            for value in values:  # repro: noqa[R2] -- Space-Saving is inherently sequential; per-element IS the algorithm
                 self.update(int(value))
             return
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != values.shape:
             raise ParameterError("weights must have the same shape as values")
-        for value, weight in zip(values, weights):  # repro: noqa[R2]
+        for value, weight in zip(values, weights):  # repro: noqa[R2] -- Space-Saving is inherently sequential; per-element IS the algorithm
             self.update(int(value), float(weight))
 
     def size_in_counters(self) -> int:

@@ -1,0 +1,27 @@
+"""Fixture: worker-plane writes bypassing the flush/merge seam (R10 x2)."""
+
+_PENDING: dict[str, int] = {}
+
+
+class Coordinator:
+    def __init__(self, workers: int) -> None:
+        self._shards = [object() for _ in range(workers)]
+        self._merged = None
+        self._dirty = False
+
+    def flush(self):
+        return self._shards
+
+    def merged(self):
+        return self._merged
+
+
+class _EagerStrategy:
+    def ingest(self, owner: Coordinator, parts) -> None:
+        # Invalidate the coordinator's cache from the worker plane.
+        owner._merged = None
+        _record(parts)
+
+
+def _record(parts) -> None:
+    _PENDING["batches"] = len(parts)

@@ -1,0 +1,38 @@
+"""Fixture: disciplined worker plane — results return via flush (R10 clean)."""
+
+_DEFAULT_WORKERS = 4
+
+
+class Coordinator:
+    def __init__(self, workers: int) -> None:
+        self._shards = [object() for _ in range(workers)]
+        self._merged = None
+        self._dirty = False
+
+    def merged(self):
+        # The coordinator owns its own state; only it crosses the seam.
+        self._shards = self._strategy_flush()
+        self._dirty = False
+        return self._shards[0]
+
+    def _strategy_flush(self):
+        return list(self._shards)
+
+
+class _PoolStrategy:
+    def ingest(self, shards, parts) -> None:
+        applied = [_apply(shard, part) for shard, part in zip(shards, parts)]
+        _summarise(applied)
+
+    def flush(self, shards):
+        return list(shards)
+
+
+def _apply(shard, part) -> int:
+    scratch: dict[str, object] = {}
+    scratch["part"] = part
+    return len(scratch)
+
+
+def _summarise(applied) -> int:
+    return sum(applied)

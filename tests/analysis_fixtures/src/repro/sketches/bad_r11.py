@@ -1,0 +1,25 @@
+"""Fixture: dtype invariants broken across calls (R11 x3)."""
+
+import numpy as np
+
+
+class ToySketch:
+    def __init__(self, depth: int, width: int) -> None:
+        # Counters must be float64: int64 silently truncates masses.
+        self._counters = np.zeros((depth, width), dtype=np.int64)
+
+    def update_coalesced(self, values: np.ndarray, masses: np.ndarray) -> None:
+        self._counters[0, values] += masses
+
+    def point_estimates(self, values: np.ndarray) -> np.ndarray:
+        # Estimate contract is float64; int64 drops fractional masses.
+        return values.astype(np.int64)
+
+
+def _as_mass(batch: np.ndarray) -> np.ndarray:
+    return np.asarray(batch, dtype=np.float64)
+
+
+def ingest(sketch: ToySketch, batch: np.ndarray) -> None:
+    # The float64 array built two calls away lands in the values seat.
+    sketch.update_coalesced(_as_mass(batch), batch)

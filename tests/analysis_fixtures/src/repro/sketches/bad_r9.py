@@ -1,0 +1,20 @@
+"""Fixture: counter mutations outside the sanctioned primitives (R9 x2)."""
+
+import numpy as np
+
+
+class ToySketch:
+    def __init__(self, depth: int, width: int) -> None:
+        self._counters = np.zeros((depth, width), dtype=np.float64)
+
+    def decay(self, factor: float) -> None:
+        # Ages counters in place: a non-linear transform of the state.
+        self._counters = self._counters * factor
+
+
+def sneaky_boost(sketch: ToySketch) -> None:
+    sketch._counters[0, 0] += 1.0
+
+
+def rebalance(sketch: ToySketch) -> None:
+    sneaky_boost(sketch)

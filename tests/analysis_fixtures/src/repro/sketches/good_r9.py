@@ -1,0 +1,29 @@
+"""Fixture: all counter changes flow through the linear algebra (R9 clean)."""
+
+import numpy as np
+
+
+class ToySketch:
+    def __init__(self, depth: int, width: int) -> None:
+        self.depth = depth
+        self.width = width
+        self._counters = np.zeros((depth, width), dtype=np.float64)
+
+    def update_coalesced(self, values: np.ndarray, masses: np.ndarray) -> None:
+        self._counters[0, values] += masses
+
+    def merged_with(self, other: "ToySketch") -> "ToySketch":
+        result = ToySketch(self.depth, self.width)
+        result._counters = self._counters + other._counters
+        return result
+
+    def copy(self) -> "ToySketch":
+        result = ToySketch(self.depth, self.width)
+        result._counters = self._counters.copy()
+        return result
+
+
+def restore(depth: int, width: int, counters: np.ndarray) -> ToySketch:
+    sketch = ToySketch(depth, width)
+    sketch._counters = np.asarray(counters, dtype=np.float64)
+    return sketch

@@ -29,7 +29,19 @@ from repro.analysis.engine import iter_python_files
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
-RULE_IDS = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+RULE_IDS = [
+    "R1",
+    "R10",
+    "R11",
+    "R2",
+    "R3",
+    "R4",
+    "R5",
+    "R6",
+    "R7",
+    "R8",
+    "R9",
+]
 
 #: rule id -> (bad fixture, expected finding count, good fixture)
 FIXTURE_MAP = {
@@ -41,6 +53,9 @@ FIXTURE_MAP = {
     "R6": ("src/repro/streams/bad_r6.py", 3, "src/repro/streams/good_r6.py"),
     "R7": ("src/repro/streams/bad_r7.py", 2, "src/repro/streams/good_r7.py"),
     "R8": ("src/repro/streams/bad_r8.py", 2, "src/repro/streams/good_r8.py"),
+    "R9": ("src/repro/sketches/bad_r9.py", 2, "src/repro/sketches/good_r9.py"),
+    "R10": ("src/repro/parallel/bad_r10.py", 2, "src/repro/parallel/good_r10.py"),
+    "R11": ("src/repro/sketches/bad_r11.py", 3, "src/repro/sketches/good_r11.py"),
 }
 
 
