@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke workloads-smoke lint check clean
+.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke lint check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,7 +26,7 @@ lint:
 	fi
 
 # Umbrella gate: everything CI runs.
-check: lint test metrics-smoke monitor-smoke parallel-smoke workloads-smoke
+check: lint test metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -80,6 +80,26 @@ monitor-smoke:
 # mismatch.  See docs/PERFORMANCE.md.
 parallel-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.parallel selfcheck --workers 4
+
+# Continuous-profiling selfcheck: run a sampled+recorded workload, prove
+# span attribution, exporter round trips (collapsed/speedscope/JSONL),
+# the telemetry ring's byte bound + aging conservation, and the live
+# /profile, /timeseries and /dashboard endpoints; then record a profiled
+# smoke run's artifacts.  See the "Continuous profiling & flight
+# recorder" section of docs/OBSERVABILITY.md.
+profile-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.profile selfcheck --seconds 20
+	PYTHONPATH=src $(PYTHON) -m repro.profile record \
+		--out .profile-smoke.prof.jsonl \
+		--timeseries-out .profile-smoke.ts.jsonl \
+		--seconds 3 --hz 97 --interval 0.5
+	PYTHONPATH=src $(PYTHON) -m repro.profile top .profile-smoke.prof.jsonl \
+		--limit 10
+	PYTHONPATH=src $(PYTHON) -m repro.profile convert \
+		.profile-smoke.prof.jsonl .profile-smoke.collapsed \
+		--format collapsed
+	rm -f .profile-smoke.prof.jsonl .profile-smoke.ts.jsonl \
+		.profile-smoke.collapsed
 
 # Adversarial-workload accuracy gate: prove corpus determinism and
 # serial==sharded audit equality, then run the audited smoke corpus and

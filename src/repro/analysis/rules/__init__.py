@@ -14,6 +14,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     r9_linearity,
     r10_concurrency,
     r11_dtypeflow,
+    r12_profiling,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "r9_linearity",
     "r10_concurrency",
     "r11_dtypeflow",
+    "r12_profiling",
 ]

@@ -1,0 +1,135 @@
+"""R12 — profiler hooks must sit behind their own ``.enabled`` flag."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: The conventional names the process-wide profiler singletons are
+#: imported under (``from ..profile import PROFILER as _PROFILER``).
+PROFILE_NAME_RE = re.compile(r"^_?(PROFILER|RECORDER)$")
+
+#: Singleton methods that record on the hot path.  Administrative
+#: methods (enable/disable/start/stop/reset/snapshot/tick/sample_once)
+#: are free to call — they run at setup/teardown, not per element.
+RECORDING_METHODS = frozenset({"mark", "pulse"})
+
+
+def _is_profile_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and PROFILE_NAME_RE.match(node.id) is not None
+
+
+def _enabled_names(test: ast.expr) -> frozenset[str]:
+    """Profiler-singleton names whose ``.enabled`` flag ``test`` reads."""
+    names = set()
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "enabled"
+            and _is_profile_name(node.value)
+        ):
+            names.add(node.value.id)
+    return frozenset(names)
+
+
+def _guard_return_names(stmt: ast.stmt) -> frozenset[str]:
+    """Names guarded by ``if not X.enabled: return`` early exits."""
+    if not isinstance(stmt, ast.If):
+        return frozenset()
+    if not any(isinstance(s, (ast.Return, ast.Raise)) for s in stmt.body):
+        return frozenset()
+    return _enabled_names(stmt.test)
+
+
+@register
+class GuardedProfiling(Rule):
+    """Every ``_PROFILER``/``_RECORDER`` hook must be guarded by ``.enabled``.
+
+    The continuous profiler makes the same promise the metrics registry
+    (R3) and tracer (R7) do: *disabled* instrumentation costs one
+    attribute read and one branch per call site.  ``mark``/``pulse``
+    self-guard internally, but an unguarded call still pays argument
+    construction and a function call on the hot path.  The guard is
+    **per singleton** — ``_PROFILER.enabled`` does not excuse a
+    ``_RECORDER.pulse``; the two are enabled independently.  Accepted
+    shapes::
+
+        if _PROFILER.enabled:
+            _PROFILER.mark("engine.ingest")
+
+        if _RECORDER.enabled:
+            _RECORDER.pulse("ingest.elements", kept)
+
+        def _hook(...):
+            if not _RECORDER.enabled:
+                return          # early-exit guard; rest of body is guarded
+            _RECORDER.pulse(...)
+
+    Example violation::
+
+        _PROFILER.mark("engine.ingest")          # R12 (no guard in sight)
+        if _PROFILER.enabled:
+            _RECORDER.pulse("queries")           # R12 (wrong singleton)
+    """
+
+    rule_id = "R12"
+    title = "profiler hooks guarded by their own enabled flag"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role in (Role.KERNEL, Role.LIBRARY)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._visit_block(
+            ctx, list(ast.iter_child_nodes(ctx.tree)), frozenset()
+        )
+
+    def _visit_block(
+        self, ctx: FileContext, nodes: list[ast.AST], guarded: frozenset[str]
+    ) -> Iterator[Finding]:
+        for node in nodes:
+            yield from self._visit(ctx, node, guarded)
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, guarded: frozenset[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A guard outside the def does not guard calls made later.
+            body_guarded: frozenset[str] = frozenset()
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, body_guarded)
+                body_guarded = body_guarded | _guard_return_names(stmt)
+            return
+        if isinstance(node, ast.If):
+            branch_guarded = guarded | _enabled_names(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit_block(ctx, list(node.body), branch_guarded)
+            yield from self._visit_block(ctx, list(node.orelse), guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            branch_guarded = guarded | _enabled_names(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit(ctx, node.body, branch_guarded)
+            yield from self._visit(ctx, node.orelse, guarded)
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RECORDING_METHODS
+            and _is_profile_name(node.func.value)
+            and node.func.value.id not in guarded
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"unguarded {node.func.value.id}.{node.func.attr}(...) — wrap "
+                f"in 'if {node.func.value.id}.enabled:' so disabled "
+                "profiling stays free",
+            )
+            # fall through: nested calls in arguments are reported too
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(node)), guarded)

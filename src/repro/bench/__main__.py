@@ -59,6 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-scenario progress"
     )
+    run.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="run the suite under the repro.profile sampling profiler "
+        "and write the stack samples here as JSONL",
+    )
+    run.add_argument(
+        "--timeseries-out",
+        metavar="PATH",
+        help="run the suite under the repro.profile flight recorder "
+        "and write the telemetry frames here as JSONL",
+    )
 
     compare = sub.add_parser(
         "compare", help="diff two BENCH documents; exit 1 on regression"
@@ -106,12 +118,50 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
+        profiling = bool(args.profile_out or args.timeseries_out)
+        if profiling:
+            from ..profile import (
+                PROFILER,
+                RECORDER,
+                write_profile_jsonl,
+                write_timeseries_jsonl,
+            )
+
+            if args.profile_out:
+                PROFILER.reset()
+                PROFILER.start()
+            if args.timeseries_out:
+                RECORDER.reset()
+                RECORDER.start()
         try:
             progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr)
             doc = run_suite(args.suite, repeats=args.repeats, progress=progress)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        finally:
+            if profiling:
+                PROFILER.stop()
+                RECORDER.stop()
+        if profiling:
+            try:
+                if args.profile_out:
+                    snap = PROFILER.snapshot()
+                    write_profile_jsonl(args.profile_out, snap)
+                    print(
+                        f"wrote {args.profile_out} "
+                        f"({len(snap['samples'])} stack samples)"
+                    )
+                if args.timeseries_out:
+                    snap = RECORDER.snapshot()
+                    write_timeseries_jsonl(args.timeseries_out, snap)
+                    print(
+                        f"wrote {args.timeseries_out} "
+                        f"({len(snap['frames'])} telemetry frames)"
+                    )
+            except OSError as exc:
+                print(f"error: cannot write profile output: {exc}", file=sys.stderr)
+                return 1
         if args.json_out:
             path = args.json_out.replace("<rev>", detect_revision())
             try:

@@ -10,6 +10,8 @@ Usage::
     python -m repro.eval smoke --metrics-out metrics.json
     python -m repro.eval smoke --trace-out trace.jsonl
     python -m repro.eval smoke --audit-out audits.jsonl
+    python -m repro.eval smoke --profile-out run.prof.jsonl \\
+        --timeseries-out run.ts.jsonl
 
 Each experiment prints the same table its ``benchmarks/`` counterpart
 emits; ``--full-scale`` switches the workload sizes exactly like setting
@@ -20,10 +22,16 @@ snapshot to ``PATH`` as JSON; ``--trace-out PATH`` enables the
 with ``python -m repro.trace convert``); ``--audit-out PATH`` enables the
 :mod:`repro.monitor` estimate-quality audits and writes every
 ``QueryAudit`` (plus drift alerts) to ``PATH`` as JSONL — serve it with
-``python -m repro.monitor serve``.  The ``smoke`` experiment additionally
-runs a shadow-audited engine workload while audits are on, so the JSONL
-contains realized-error verdicts too.  See docs/OBSERVABILITY.md and
-DESIGN.md for the catalogue and experiment index.
+``python -m repro.monitor serve``.  ``--profile-out PATH`` starts the
+:mod:`repro.profile` sampling profiler for the run and writes the stack
+samples as JSONL (inspect with ``python -m repro.profile top``);
+``--timeseries-out PATH`` starts the flight recorder and writes the
+telemetry frames as JSONL — both are served by ``python -m repro.monitor
+serve --profile ... --timeseries ...`` and its ``/dashboard`` page.  The
+``smoke`` experiment additionally runs a shadow-audited engine workload
+while audits are on, so the JSONL contains realized-error verdicts too.
+See docs/OBSERVABILITY.md and DESIGN.md for the catalogue and experiment
+index.
 """
 
 from __future__ import annotations
@@ -34,6 +42,12 @@ from typing import Callable
 
 from ..monitor import AUDIT
 from ..obs import METRICS, write_snapshot
+from ..profile import (
+    PROFILER,
+    RECORDER,
+    write_profile_jsonl,
+    write_timeseries_jsonl,
+)
 from ..trace import TRACER, write_trace_jsonl
 
 from .figures import (
@@ -242,6 +256,20 @@ def main(argv: list[str] | None = None) -> int:
         help="enable repro.monitor estimate-quality audits and write "
         "every QueryAudit to PATH as JSONL",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="start the repro.profile sampling profiler and write the "
+        "stack samples to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--timeseries-out",
+        metavar="PATH",
+        default=None,
+        help="start the repro.profile flight recorder and write the "
+        "telemetry frames to PATH as JSONL",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -260,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
         ("--metrics-out", args.metrics_out),
         ("--trace-out", args.trace_out),
         ("--audit-out", args.audit_out),
+        ("--profile-out", args.profile_out),
+        ("--timeseries-out", args.timeseries_out),
     ):
         if path:
             try:
@@ -276,6 +306,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.audit_out:
         AUDIT.reset()
         AUDIT.enable()
+    if args.profile_out:
+        PROFILER.reset()
+        PROFILER.start()
+    if args.timeseries_out:
+        RECORDER.reset()
+        RECORDER.start()
     try:
         for name in args.experiments:
             # Timer powers the printed wall-clock line even with telemetry
@@ -296,6 +332,22 @@ def main(argv: list[str] | None = None) -> int:
         if args.audit_out:
             lines = AUDIT.write_jsonl(args.audit_out)
             print(f"[{lines} audit records written to {args.audit_out}]")
+        if args.profile_out:
+            PROFILER.stop()
+            snapshot = PROFILER.snapshot()
+            write_profile_jsonl(args.profile_out, snapshot)
+            print(
+                f"[{len(snapshot['samples'])} stack samples written to "
+                f"{args.profile_out}]"
+            )
+        if args.timeseries_out:
+            RECORDER.stop()
+            ts = RECORDER.snapshot()
+            write_timeseries_jsonl(args.timeseries_out, ts)
+            print(
+                f"[{len(ts['frames'])} telemetry frames written to "
+                f"{args.timeseries_out}]"
+            )
     finally:
         if args.metrics_out:
             METRICS.disable()
@@ -303,6 +355,10 @@ def main(argv: list[str] | None = None) -> int:
             TRACER.disable()
         if args.audit_out:
             AUDIT.disable()
+        if args.profile_out:
+            PROFILER.stop()
+        if args.timeseries_out:
+            RECORDER.stop()
     return 0
 
 

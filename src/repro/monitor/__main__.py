@@ -4,10 +4,13 @@ Serve audits + metrics over HTTP (files from an audited run, or the
 empty live registries of this process)::
 
     python -m repro.monitor serve --metrics metrics.json \\
-        --audits audits.jsonl --port 8000
+        --audits audits.jsonl --profile run.prof.jsonl \\
+        --timeseries run.ts.jsonl --port 8000
 
 Then scrape ``http://127.0.0.1:8000/metrics`` (Prometheus exposition),
-``/health``, ``/audits`` and ``/snapshot``.
+``/health``, ``/audits``, ``/snapshot``, ``/profile``, ``/timeseries``
+— or open ``/dashboard`` in a browser for the sparkline +
+hottest-frames view.
 
 One-shot scrape round trip (what ``make monitor-smoke`` runs): start the
 server on an ephemeral port, scrape every endpoint, check the exposition
@@ -35,7 +38,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    serve = sub.add_parser("serve", help="serve /metrics, /health, /audits, /snapshot")
+    serve = sub.add_parser(
+        "serve",
+        help="serve /metrics, /health, /audits, /snapshot, /profile, "
+        "/timeseries, /dashboard",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8000, help="TCP port (0 = ephemeral)"
@@ -47,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--audits", metavar="PATH", help="audit JSONL (--audit-out file)"
     )
     serve.add_argument(
+        "--profile", metavar="PATH", help="profile JSONL (--profile-out file)"
+    )
+    serve.add_argument(
+        "--timeseries",
+        metavar="PATH",
+        help="flight-recorder JSONL (--timeseries-out file)",
+    )
+    serve.add_argument(
         "--prefix", default="repro", help="Prometheus name prefix (default: repro)"
     )
 
@@ -56,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     selfcheck.add_argument("--metrics", metavar="PATH", help="metrics snapshot JSON")
     selfcheck.add_argument("--audits", metavar="PATH", help="audit JSONL")
+    selfcheck.add_argument("--profile", metavar="PATH", help="profile JSONL")
+    selfcheck.add_argument(
+        "--timeseries", metavar="PATH", help="flight-recorder JSONL"
+    )
     selfcheck.add_argument(
         "--min-audits",
         type=int,
@@ -72,7 +91,9 @@ def _get(url: str) -> tuple[int, str]:
 
 def _selfcheck(args: argparse.Namespace) -> int:
     try:
-        source = file_source(args.metrics, args.audits)
+        source = file_source(
+            args.metrics, args.audits, args.profile, args.timeseries
+        )
     except (OSError, ValueError) as exc:
         print(f"error: cannot load inputs: {exc}", file=sys.stderr)
         return 1
@@ -115,6 +136,20 @@ def _selfcheck(args: argparse.Namespace) -> int:
         if status != 200 or json.loads(body).get("version") != 1:
             failures.append(f"/snapshot not a version-1 snapshot (status {status})")
 
+        status, body = _get(f"{server.url}/profile")
+        if status != 200 or json.loads(body).get("kind") != "repro.profile":
+            failures.append(f"/profile not a profile snapshot (status {status})")
+
+        status, body = _get(f"{server.url}/timeseries")
+        if status != 200 or json.loads(body).get("kind") != "repro.timeseries":
+            failures.append(
+                f"/timeseries not a timeseries snapshot (status {status})"
+            )
+
+        status, body = _get(f"{server.url}/dashboard")
+        if status != 200 or "repro monitor" not in body:
+            failures.append(f"/dashboard did not render (status {status})")
+
     if failures:
         for failure in failures:
             print(f"selfcheck FAILED: {failure}", file=sys.stderr)
@@ -136,13 +171,18 @@ def main(argv: list[str] | None = None) -> int:
         return _selfcheck(args)
     # serve
     try:
-        source = file_source(args.metrics, args.audits)
+        source = file_source(
+            args.metrics, args.audits, args.profile, args.timeseries
+        )
     except (OSError, ValueError) as exc:
         print(f"error: cannot load inputs: {exc}", file=sys.stderr)
         return 1
     server = MonitorServer(source, host=args.host, port=args.port, prefix=args.prefix)
     server.start()
-    print(f"serving on {server.url} (endpoints: /metrics /health /audits /snapshot)")
+    print(
+        f"serving on {server.url} (endpoints: /metrics /health /audits "
+        f"/snapshot /profile /timeseries /dashboard)"
+    )
     try:
         while True:
             server._thread.join(1.0)  # noqa: SLF001 - interruptible wait

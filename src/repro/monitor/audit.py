@@ -362,14 +362,21 @@ class AuditLog:
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready dump of the ring and alerts (readable while
-        disabled, like a metrics snapshot)."""
+        disabled, like a metrics snapshot).
+
+        ``list(deque)`` runs atomically under the GIL, so materialising
+        first lets a monitor thread snapshot while queries append —
+        iterating the live deque directly would raise ``RuntimeError``.
+        """
+        audits = list(self._ring)
+        alerts = list(self.alerts)
         return {
             "version": 1,
             "kind": "repro.monitor",
             "recorded": self._next_index - 1,
             "evicted": self.evicted,
-            "audits": [a.as_dict() for a in self._ring],
-            "alerts": [a.as_dict() for a in self.alerts],
+            "audits": [a.as_dict() for a in audits],
+            "alerts": [a.as_dict() for a in alerts],
         }
 
     # -- JSONL sink --------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Live monitoring HTTP surface: ``/metrics``, ``/health``, ``/audits``.
+"""Live monitoring HTTP surface: metrics, audits, profiles, dashboard.
 
 ``python -m repro.monitor serve`` turns a (running or finished) audited
 experiment into something scrapeable like a production service:
@@ -10,13 +10,24 @@ experiment into something scrapeable like a production service:
   merged in;
 * ``/health`` — liveness JSON (status, audit/alert counts);
 * ``/audits`` — the most recent :class:`QueryAudit` records as JSON
-  (``?n=`` limits the count);
-* ``/snapshot`` — the raw metrics snapshot JSON, for ``repro.obs diff``.
+  (``?n=`` limits the count; any other query parameter is a 400);
+* ``/snapshot`` — the raw metrics snapshot JSON, for ``repro.obs diff``;
+* ``/profile`` — the ``repro.profile`` sample snapshot JSON;
+* ``/timeseries`` — the flight-recorder telemetry snapshot JSON;
+* ``/dashboard`` — a self-contained HTML page (inline SVG sparklines
+  for throughput/error/coverage plus the hottest profiled frames),
+  rendered by :mod:`repro.monitor.dashboard` with no external assets.
+
+Every endpoint also answers ``HEAD`` (headers only, correct
+``Content-Length``), and every response carries an explicit
+``Content-Length`` so curl/Prometheus never wait on a silent EOF.
 
 The server reads through a :class:`MonitorSource`, so the same handler
 serves the **live** process registries (``repro.obs.METRICS`` /
-``repro.monitor.AUDIT``) or **files** written by ``--metrics-out`` /
-``--audit-out`` — the latter is what ``make monitor-smoke`` scrapes.
+``repro.monitor.AUDIT`` / ``repro.profile.PROFILER``/``RECORDER``) or
+**files** written by ``--metrics-out`` / ``--audit-out`` /
+``--profile-out`` / ``--timeseries-out`` — the latter is what ``make
+monitor-smoke`` scrapes.
 
 Imports are stdlib plus ``repro.obs.export`` (itself stdlib-only); the
 ``except ImportError`` fallback lets the module load when ``repro``'s
@@ -47,26 +58,55 @@ EMPTY_SNAPSHOT: dict[str, Any] = {
     "histograms": {},
 }
 
+#: Empty version-1 profile snapshot (served when no profile source exists).
+EMPTY_PROFILE: dict[str, Any] = {
+    "version": 1,
+    "kind": "repro.profile",
+    "hz": 0.0,
+    "dropped": 0,
+    "samples": [],
+}
+
+#: Empty version-1 timeseries snapshot (served when no recorder exists).
+EMPTY_TIMESERIES: dict[str, Any] = {
+    "version": 1,
+    "kind": "repro.timeseries",
+    "interval": 0.0,
+    "pushed": 0,
+    "aged": 0,
+    "frames": [],
+}
+
 
 class MonitorSource:
-    """What the HTTP handlers read: two snapshot thunks.
+    """What the HTTP handlers read: four snapshot thunks.
 
     ``metrics_snapshot`` returns a version-1 metrics snapshot dict;
-    ``audit_snapshot`` returns an :meth:`AuditLog.snapshot` dict.  Both
-    are called per request, so live sources always serve fresh state.
+    ``audit_snapshot`` an :meth:`AuditLog.snapshot` dict;
+    ``profile_snapshot`` / ``timeseries_snapshot`` the ``repro.profile``
+    sampler/recorder snapshots (both optional — they default to empty
+    documents so a metrics-only deployment needs no profiler).  All are
+    called per request, so live sources always serve fresh state.
     """
 
     def __init__(
         self,
         metrics_snapshot: Callable[[], dict[str, Any]],
         audit_snapshot: Callable[[], dict[str, Any]],
+        profile_snapshot: Callable[[], dict[str, Any]] | None = None,
+        timeseries_snapshot: Callable[[], dict[str, Any]] | None = None,
     ) -> None:
         self.metrics_snapshot = metrics_snapshot
         self.audit_snapshot = audit_snapshot
+        self.profile_snapshot = profile_snapshot or (lambda: dict(EMPTY_PROFILE))
+        self.timeseries_snapshot = timeseries_snapshot or (
+            lambda: dict(EMPTY_TIMESERIES)
+        )
 
 
 def live_source() -> MonitorSource:
-    """Source backed by the process-wide ``METRICS`` and ``AUDIT``."""
+    """Source backed by the process-wide ``METRICS``, ``AUDIT``,
+    ``PROFILER`` and ``RECORDER``."""
     try:
         from ..obs import METRICS
     except ImportError:  # standalone layout (see module docstring)
@@ -75,13 +115,23 @@ def live_source() -> MonitorSource:
         from . import AUDIT
     except ImportError:
         from monitor import AUDIT  # type: ignore
-    return MonitorSource(METRICS.snapshot, AUDIT.snapshot)
+    try:
+        from ..profile import PROFILER, RECORDER
+    except ImportError:  # standalone layout: shadows stdlib `profile`
+        from profile import PROFILER, RECORDER  # type: ignore
+    return MonitorSource(
+        METRICS.snapshot, AUDIT.snapshot, PROFILER.snapshot, RECORDER.snapshot
+    )
 
 
 def file_source(
-    metrics_path: str | None = None, audits_path: str | None = None
+    metrics_path: str | None = None,
+    audits_path: str | None = None,
+    profile_path: str | None = None,
+    timeseries_path: str | None = None,
 ) -> MonitorSource:
-    """Source backed by ``--metrics-out`` / ``--audit-out`` files.
+    """Source backed by ``--metrics-out`` / ``--audit-out`` /
+    ``--profile-out`` / ``--timeseries-out`` files.
 
     Files are read once, eagerly, so a bad path fails at startup rather
     than mid-scrape; raises ``ValueError`` / ``OSError`` on bad input.
@@ -99,7 +149,36 @@ def file_source(
         for alert in alerts:
             log.alert(_DictAlert(alert))
     log.disable()
-    return MonitorSource(lambda: snapshot, log.snapshot)
+    if profile_path is not None:
+        profile_doc = _read_profile_jsonl(profile_path)
+    else:
+        profile_doc = dict(EMPTY_PROFILE)
+    if timeseries_path is not None:
+        timeseries_doc = _read_timeseries_jsonl(timeseries_path)
+    else:
+        timeseries_doc = dict(EMPTY_TIMESERIES)
+    return MonitorSource(
+        lambda: snapshot,
+        log.snapshot,
+        lambda: profile_doc,
+        lambda: timeseries_doc,
+    )
+
+
+def _read_profile_jsonl(path: str) -> dict[str, Any]:
+    try:
+        from ..profile import read_profile_jsonl
+    except ImportError:  # standalone layout (see module docstring)
+        from profile import read_profile_jsonl  # type: ignore
+    return read_profile_jsonl(path)
+
+
+def _read_timeseries_jsonl(path: str) -> dict[str, Any]:
+    try:
+        from ..profile import read_timeseries_jsonl
+    except ImportError:
+        from profile import read_timeseries_jsonl  # type: ignore
+    return read_timeseries_jsonl(path)
 
 
 class _DictAlert:
@@ -111,6 +190,31 @@ class _DictAlert:
     def as_dict(self) -> dict[str, Any]:
         """The original wire dict, unchanged."""
         return self._data
+
+
+def _read_stable(read: Callable[[], dict[str, Any]]) -> dict[str, Any]:
+    """Call a snapshot thunk, retrying the transient ``RuntimeError`` a
+    lock-free live registry raises when a hot path inserts a brand-new
+    metric mid-iteration.  Retries settle it in practice (the name set
+    stabilises after warm-up); the final attempt propagates so a truly
+    broken source still surfaces as a 500.
+    """
+    for _ in range(5):
+        try:
+            return read()
+        except RuntimeError:
+            continue
+    return read()
+
+
+def _stable_source(source: MonitorSource) -> MonitorSource:
+    """A view of ``source`` whose thunks read through :func:`_read_stable`."""
+    return MonitorSource(
+        lambda: _read_stable(source.metrics_snapshot),
+        lambda: _read_stable(source.audit_snapshot),
+        lambda: _read_stable(source.profile_snapshot),
+        lambda: _read_stable(source.timeseries_snapshot),
+    )
 
 
 def merged_metrics_snapshot(source: MonitorSource) -> dict[str, Any]:
@@ -186,16 +290,18 @@ class _MonitorHandler(BaseHTTPRequestHandler):
     prefix = "repro"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Dispatch ``/metrics``, ``/health``, ``/audits``, ``/snapshot``."""
+        """Dispatch ``/metrics``, ``/health``, ``/audits``, ``/snapshot``,
+        ``/profile``, ``/timeseries``, ``/dashboard``."""
         url = urlparse(self.path)
+        source = _stable_source(self.source)
         try:
             if url.path == "/metrics":
                 body = snapshot_to_prometheus(
-                    merged_metrics_snapshot(self.source), prefix=self.prefix
+                    merged_metrics_snapshot(source), prefix=self.prefix
                 )
                 self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
             elif url.path == "/health":
-                audits = self.source.audit_snapshot()
+                audits = source.audit_snapshot()
                 payload = {
                     "status": "ok",
                     "audits": len(audits.get("audits", [])),
@@ -204,8 +310,16 @@ class _MonitorHandler(BaseHTTPRequestHandler):
                 }
                 self._reply(200, json.dumps(payload), "application/json")
             elif url.path == "/audits":
-                audits = self.source.audit_snapshot()
-                query = parse_qs(url.query)
+                query = parse_qs(url.query, keep_blank_values=True)
+                unknown = sorted(set(query) - {"n"})
+                if unknown:
+                    self._reply(
+                        400,
+                        f"unknown query parameter(s): {', '.join(unknown)}\n",
+                        "text/plain",
+                    )
+                    return
+                audits = source.audit_snapshot()
                 if "n" in query:
                     try:
                         limit = max(0, int(query["n"][0]))
@@ -217,12 +331,32 @@ class _MonitorHandler(BaseHTTPRequestHandler):
                 self._reply(200, json.dumps(audits), "application/json")
             elif url.path == "/snapshot":
                 self._reply(
-                    200, json.dumps(self.source.metrics_snapshot()), "application/json"
+                    200, json.dumps(source.metrics_snapshot()), "application/json"
+                )
+            elif url.path == "/profile":
+                self._reply(
+                    200, json.dumps(source.profile_snapshot()), "application/json"
+                )
+            elif url.path == "/timeseries":
+                self._reply(
+                    200,
+                    json.dumps(source.timeseries_snapshot()),
+                    "application/json",
+                )
+            elif url.path == "/dashboard":
+                from .dashboard import render_dashboard
+
+                self._reply(
+                    200, render_dashboard(source), "text/html; charset=utf-8"
                 )
             else:
                 self._reply(404, f"no such endpoint: {url.path}\n", "text/plain")
         except Exception as exc:  # defensive: a scrape must never kill the server
             self._reply(500, f"internal error: {exc}\n", "text/plain")
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        """Same dispatch as GET; ``_reply`` omits the body for HEAD."""
+        self.do_GET()
 
     def _reply(self, status: int, body: str, content_type: str) -> None:
         data = body.encode("utf-8")
@@ -230,7 +364,8 @@ class _MonitorHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
-        self.wfile.write(data)
+        if self.command != "HEAD":
+            self.wfile.write(data)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         """Silence per-request stderr logging (scrapes are frequent)."""

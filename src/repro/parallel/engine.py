@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import ParameterError
+from ..profile import PROFILER as _PROFILER, RECORDER as _RECORDER
 from ..streams.engine import StreamEngine, _RegisteredStream
 from ..streams.query import Predicate, Query
 from .shards import INGEST_MODES, ShardedIngestor
@@ -98,6 +99,10 @@ class ParallelStreamEngine(StreamEngine):
         weights: np.ndarray | None,
     ) -> None:
         """Route a filtered batch through the stream's sharded ingestor."""
+        if _PROFILER.enabled:
+            _PROFILER.mark("parallel.ingest")
+        if _RECORDER.enabled:
+            _RECORDER.pulse("parallel.elements", int(values.size))
         self._ingestors[registered.name].ingest(values, weights)
 
     # -- query paths: merge shards before answering ------------------------------

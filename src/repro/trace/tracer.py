@@ -121,7 +121,7 @@ class SpanTracer:
         self.max_spans = max_spans
         self.dropped = 0
         self._spans: list[Span] = []
-        self._stack: list[int] = []
+        self._stack: list[Span] = []
         self._next_id = 1
         self._epoch = time.perf_counter()
 
@@ -156,12 +156,12 @@ class SpanTracer:
         span = Span(
             name,
             self._next_id,
-            self._stack[-1] if self._stack else None,
+            self._stack[-1].span_id if self._stack else None,
             time.perf_counter() - self._epoch,
             attributes,
         )
         self._next_id += 1
-        self._stack.append(span.span_id)
+        self._stack.append(span)
         try:
             yield span
         finally:
@@ -176,7 +176,7 @@ class SpanTracer:
         span = Span(
             name,
             self._next_id,
-            self._stack[-1] if self._stack else None,
+            self._stack[-1].span_id if self._stack else None,
             time.perf_counter() - self._epoch,
             attributes,
         )
@@ -190,6 +190,21 @@ class SpanTracer:
             self.dropped += 1
 
     # -- reading -----------------------------------------------------------
+
+    def current_span_name(self) -> str | None:
+        """Name of the innermost *open* span (``None`` outside any span).
+
+        Unlike every other reader this one is also called from a foreign
+        thread — the ``repro.profile`` sampler attributes each stack
+        sample to the span active at sampling time.  The read is
+        best-effort: the stack may mutate underneath it, so it grabs the
+        tail through one indexing op and swallows the race instead of
+        locking the hot path.
+        """
+        try:
+            return self._stack[-1].name
+        except IndexError:
+            return None
 
     def spans(self) -> list[Span]:
         """Finished spans in completion order (children before parents)."""

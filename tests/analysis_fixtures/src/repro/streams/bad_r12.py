@@ -1,0 +1,10 @@
+"""R12 fixture: profiler hooks recorded without the enabled-flag guard."""
+
+from ..profile import PROFILER as _PROFILER, RECORDER as _RECORDER
+
+
+def ingest(engine, values):
+    kept = engine.update_bulk(values)
+    _PROFILER.mark("engine.ingest")  # R12: no guard
+    if _PROFILER.enabled:
+        _RECORDER.pulse("ingest.elements", kept)  # R12: wrong singleton

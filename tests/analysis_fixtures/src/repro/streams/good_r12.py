@@ -1,0 +1,24 @@
+"""R12 fixture (clean): every accepted guard shape."""
+
+from ..profile import PROFILER as _PROFILER, RECORDER as _RECORDER
+
+
+def ingest(engine, values):
+    kept = engine.update_bulk(values)
+    if _PROFILER.enabled:
+        _PROFILER.mark("engine.ingest")
+    if _RECORDER.enabled:
+        _RECORDER.pulse("ingest.elements", kept)
+
+
+def answer(engine, query):
+    if not _RECORDER.enabled:
+        return engine.answer(query)
+    _RECORDER.pulse("queries")  # early-exit guard above covers this
+    return engine.answer(query)
+
+
+def shutdown():
+    # Administrative methods need no guard: they run once, off hot paths.
+    _PROFILER.stop()
+    _RECORDER.stop()

@@ -12,6 +12,7 @@ import pytest
 
 from repro.monitor import AUDIT
 from repro.obs import METRICS
+from repro.profile import PROFILER, RECORDER
 from repro.streams.generators import shifted_zipf_pair, zipf_frequencies
 from repro.streams.model import FrequencyVector
 from repro.trace import TRACER
@@ -20,23 +21,28 @@ SMALL_DOMAIN = 256
 MEDIUM_DOMAIN = 4096
 
 
+def _reset_observability():
+    METRICS.disable()
+    METRICS.reset()
+    TRACER.disable()
+    TRACER.reset()
+    AUDIT.disable()
+    AUDIT.reset()
+    PROFILER.stop()  # joins the sampling thread if a test left it running
+    PROFILER.disable()
+    PROFILER.reset()
+    RECORDER.stop()
+    RECORDER.disable()
+    RECORDER.reset()
+
+
 @pytest.fixture(autouse=True)
 def _obs_isolation():
-    """Keep the global metrics registry, tracer and audit log disabled
-    and empty between tests."""
-    METRICS.disable()
-    METRICS.reset()
-    TRACER.disable()
-    TRACER.reset()
-    AUDIT.disable()
-    AUDIT.reset()
+    """Keep the global metrics registry, tracer, audit log, profiler and
+    flight recorder disabled and empty between tests."""
+    _reset_observability()
     yield
-    METRICS.disable()
-    METRICS.reset()
-    TRACER.disable()
-    TRACER.reset()
-    AUDIT.disable()
-    AUDIT.reset()
+    _reset_observability()
 
 
 @pytest.fixture

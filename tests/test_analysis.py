@@ -33,6 +33,7 @@ RULE_IDS = [
     "R1",
     "R10",
     "R11",
+    "R12",
     "R2",
     "R3",
     "R4",
@@ -56,6 +57,7 @@ FIXTURE_MAP = {
     "R9": ("src/repro/sketches/bad_r9.py", 2, "src/repro/sketches/good_r9.py"),
     "R10": ("src/repro/parallel/bad_r10.py", 2, "src/repro/parallel/good_r10.py"),
     "R11": ("src/repro/sketches/bad_r11.py", 3, "src/repro/sketches/good_r11.py"),
+    "R12": ("src/repro/streams/bad_r12.py", 2, "src/repro/streams/good_r12.py"),
 }
 
 

@@ -106,6 +106,45 @@ def test_disabled_audit_answer_matches_raw_estimator(rng):
     )
 
 
+def test_disabled_profile_hooks_stay_off_the_ingest_path(rng):
+    """The ``repro.profile`` hooks (``_PROFILER.mark`` /
+    ``_RECORDER.pulse``) on ``engine.process_bulk`` and ``answer`` are
+    one guarded attribute read per *batch* while disabled —
+    ``process_bulk`` must stay within a small factor of the raw synopsis
+    ``update_bulk`` doing all the real work.  A regression here means a
+    profiler hook (or its argument construction) leaked outside the
+    R12 guard."""
+    from repro.core.config import SketchParameters
+    from repro.profile import PROFILER, RECORDER
+    from repro.streams.engine import StreamEngine
+
+    assert not PROFILER.enabled and not RECORDER.enabled  # conftest guarantee
+    engine = StreamEngine(
+        1 << 16, SketchParameters(width=256, depth=7), synopsis="skimmed", seed=1
+    )
+    engine.register_stream("f")
+    values = rng.integers(0, 1 << 16, size=N_ELEMENTS).astype(np.int64)
+    synopsis = engine.synopsis_for("f")
+
+    def kernel():
+        synopsis.update_bulk(values)
+
+    def instrumented():
+        engine.process_bulk("f", values)
+
+    kernel()
+    instrumented()
+    kernel_time = _best_of(REPEATS, kernel)
+    instrumented_time = _best_of(REPEATS, instrumented)
+
+    budget = kernel_time * MAX_FACTOR + SLACK_SECONDS
+    assert instrumented_time <= budget, (
+        f"process_bulk took {instrumented_time * 1e3:.2f}ms vs raw update_bulk "
+        f"{kernel_time * 1e3:.2f}ms (budget {budget * 1e3:.2f}ms) — "
+        "disabled profiler-hook overhead regressed on the ingest path"
+    )
+
+
 def test_enabled_update_bulk_overhead_is_batch_level(rng):
     """Even *enabled*, bulk instrumentation is per-batch, not per-element."""
     schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
