@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke lint check clean
+.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke federate-smoke lint check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,7 +26,7 @@ lint:
 	fi
 
 # Umbrella gate: everything CI runs.
-check: lint test metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke
+check: lint test metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke federate-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -115,6 +115,24 @@ workloads-smoke:
 		benchmarks/baselines/ACCURACY_baseline.json .workloads-smoke.json
 	rm -f .workloads-smoke.json
 
+# Federated-telemetry gate: prove the merge algebra + wire contracts
+# (selfcheck), run a 3-site distributed round trip with telemetry-enabled
+# sites (merged per-origin metrics, one stitched Perfetto trace, per-origin
+# accumulated snapshots), then scrape everything through a federated
+# monitor (origin-labelled /metrics + /topology health).  See the
+# "Federated telemetry" section of docs/OBSERVABILITY.md.
+federate-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.federate selfcheck
+	PYTHONPATH=src $(PYTHON) -m repro.federate run --sites 3 --rounds 2 \
+		--updates 500 --out-dir .federate-smoke
+	PYTHONPATH=src $(PYTHON) -m repro.monitor selfcheck \
+		--metrics .federate-smoke/metrics.json --min-audits 0 \
+		--federate coordinator=.federate-smoke/metrics.json \
+		--federate site.edge-0=.federate-smoke/telemetry.site.edge-0.json \
+		--federate site.edge-1=.federate-smoke/telemetry.site.edge-1.json \
+		--federate site.edge-2=.federate-smoke/telemetry.site.edge-2.json
+	rm -rf .federate-smoke
+
 clean:
-	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks
+	rm -rf src/repro.egg-info .pytest_cache .hypothesis .benchmarks .federate-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

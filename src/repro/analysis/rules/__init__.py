@@ -15,6 +15,7 @@ from . import (  # noqa: F401  (imported for their registration side effect)
     r10_concurrency,
     r11_dtypeflow,
     r12_profiling,
+    r13_federation,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "r10_concurrency",
     "r11_dtypeflow",
     "r12_profiling",
+    "r13_federation",
 ]

@@ -1,0 +1,138 @@
+"""R13 — telemetry snapshot capture must sit behind a singleton's enabled flag."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import FileContext, Role
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: The conventional names the process-wide observability singletons are
+#: imported under.  A guard on ANY of them makes a capture call cheap in
+#: the all-disabled case, which is the invariant this rule protects.
+SINGLETON_NAME_RE = re.compile(r"^_?(METRICS|TRACER|RECORDER|PROFILER|AUDIT)$")
+
+#: Methods that serialize a :class:`~repro.federate.TelemetrySnapshot`
+#: for piggybacking on a protocol message.  Capturing walks every
+#: counter, gauge, histogram reservoir and the span ring — far too
+#: expensive to run per round when all telemetry is off.
+CAPTURE_METHODS = frozenset({"capture_telemetry"})
+
+
+def _is_singleton_name(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Name)
+        and SINGLETON_NAME_RE.match(node.id) is not None
+    )
+
+
+def _mentions_enabled(test: ast.expr) -> bool:
+    """Does ``test`` read ``<SINGLETON>.enabled`` for any known singleton?"""
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "enabled"
+            and _is_singleton_name(node.value)
+        ):
+            return True
+    return False
+
+
+def _is_guard_return(stmt: ast.stmt) -> bool:
+    """``if not <SINGLETON>.enabled: return/raise`` early-exit detection."""
+    if not isinstance(stmt, ast.If) or not _mentions_enabled(stmt.test):
+        return False
+    return any(isinstance(s, (ast.Return, ast.Raise)) for s in stmt.body)
+
+
+def _is_capture_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in CAPTURE_METHODS
+    if isinstance(func, ast.Name):
+        return func.id in CAPTURE_METHODS
+    return False
+
+
+@register
+class GuardedFederation(Rule):
+    """``capture_telemetry()`` must be guarded by a singleton's ``enabled``.
+
+    The federation plane piggybacks telemetry snapshots on protocol
+    messages (``SketchReport.telemetry``).  Capturing a snapshot walks
+    the whole metrics registry, drains the span ring, and serializes the
+    result — work that must not happen on the hot report path when every
+    observability singleton is off.  Any function that serializes a
+    snapshot into a protocol message must therefore branch on the owning
+    singleton's ``enabled`` flag first.  Accepted guard shapes::
+
+        if _METRICS.enabled or _TRACER.enabled:
+            report = replace(report, telemetry=shipper.capture_telemetry())
+
+        def _attach(...):
+            if not _METRICS.enabled:
+                return          # early-exit guard; rest of body is guarded
+            doc = self.shipper.capture_telemetry()
+
+    Example violation::
+
+        doc = shipper.capture_telemetry()      # R13 (no guard in sight)
+
+    Suppress only where the shipper wraps a private, always-enabled
+    registry (e.g. the CLI's emulated origins)::
+
+        doc = shipper.capture_telemetry()  # repro: noqa[R13] -- private registry
+    """
+
+    rule_id = "R13"
+    title = "telemetry snapshot capture guarded by an enabled flag"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.role in (Role.KERNEL, Role.LIBRARY)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(ctx.tree)), False)
+
+    def _visit_block(
+        self, ctx: FileContext, nodes: list[ast.AST], guarded: bool
+    ) -> Iterator[Finding]:
+        for node in nodes:
+            yield from self._visit(ctx, node, guarded)
+
+    def _visit(self, ctx: FileContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A guard outside the def does not guard calls made later.
+            body_guarded = False
+            for stmt in node.body:
+                yield from self._visit(ctx, stmt, body_guarded)
+                if not body_guarded and _is_guard_return(stmt):
+                    body_guarded = True
+            return
+        if isinstance(node, ast.If):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit_block(ctx, list(node.body), branch_guarded)
+            yield from self._visit_block(ctx, list(node.orelse), branch_guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            branch_guarded = guarded or _mentions_enabled(node.test)
+            yield from self._visit(ctx, node.test, guarded)
+            yield from self._visit(ctx, node.body, branch_guarded)
+            yield from self._visit(ctx, node.orelse, branch_guarded)
+            return
+        if not guarded and _is_capture_call(node):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "unguarded capture_telemetry() — branch on an observability "
+                "singleton's '.enabled' flag before serializing a snapshot "
+                "into a protocol message",
+            )
+            # fall through: nested calls in arguments are reported too
+        yield from self._visit_block(ctx, list(ast.iter_child_nodes(node)), guarded)

@@ -17,7 +17,7 @@ METRICS_NAME_RE = re.compile(r"^_?METRICS$")
 #: guarantee is about).  Administrative methods (enable/disable/reset/
 #: snapshot/metric_names/counter_value/gauge_value) are free to call.
 RECORDING_METHODS = frozenset(
-    {"count", "counter", "gauge", "histogram", "observe", "timer"}
+    {"count", "counter", "gauge", "gauge_max", "histogram", "observe", "timer"}
 )
 
 

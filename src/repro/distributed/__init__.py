@@ -3,7 +3,7 @@ merges exactly (linearity), answering fleet-wide join aggregates with
 communication measured in kilobytes — the paper's §1 network-monitoring
 deployment pattern."""
 
-from .protocol import ProtocolError, RoundSummary, SketchReport
+from .protocol import ProtocolError, RoundSummary, SketchReport, TraceContext
 from .site import SketchSite
 from .coordinator import SketchCoordinator
 
@@ -13,4 +13,5 @@ __all__ = [
     "SketchCoordinator",
     "SketchReport",
     "SketchSite",
+    "TraceContext",
 ]

@@ -16,11 +16,12 @@ from contextlib import nullcontext
 
 from ..core.estimator import SkimmedSketch, SkimmedSketchSchema
 from ..errors import IncompatibleSketchError, QueryError
+from ..federate import merge_telemetry, telemetry_size_in_bytes, validate_telemetry
 from ..monitor import AUDIT as _AUDIT
 from ..obs import METRICS as _METRICS
 from ..profile import PROFILER as _PROFILER, RECORDER as _RECORDER
 from ..trace import TRACER as _TRACER
-from .protocol import ProtocolError, RoundSummary, SketchReport
+from .protocol import ProtocolError, RoundSummary, SketchReport, TraceContext
 
 
 class SketchCoordinator:
@@ -46,6 +47,26 @@ class SketchCoordinator:
         self._last_round: dict[tuple[str, str], int] = {}
         self._bytes_received = 0
         self._reports_merged = 0
+        # origin -> accumulated (merged) telemetry snapshot.
+        self._telemetry: dict[str, dict] = {}
+        self._telemetry_bytes = 0
+        self._telemetry_reports = 0
+        self._minted_rounds = 0
+
+    # -- trace-context minting ---------------------------------------------
+
+    def mint_trace_context(self, round_number: int | None = None) -> TraceContext:
+        """Mint the correlation context for the next reporting round.
+
+        The coordinator owns trace-id allocation (sites just echo it
+        back), so one fleet-wide id names the round across every origin's
+        span tree.  ``round_number`` defaults to an internal mint
+        counter; pass it explicitly when the fleet's round numbering is
+        driven elsewhere.
+        """
+        self._minted_rounds += 1
+        n = self._minted_rounds if round_number is None else round_number
+        return TraceContext(trace_id=f"fleet-round-{n:06d}", round_number=n)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -101,14 +122,71 @@ class SketchCoordinator:
         if _METRICS.enabled:
             _METRICS.count("dist.reports.received")
             _METRICS.count("dist.bytes.received", size)
-            if report.round_number > _METRICS.gauge("dist.round.max").value:
-                _METRICS.gauge("dist.round.max", report.round_number)
+            _METRICS.gauge_max("dist.round.max", report.round_number)
+        if report.telemetry is not None:
+            self._absorb_telemetry(report, span)
+
+    def _absorb_telemetry(self, report: SketchReport, span) -> None:
+        """Fold a report's telemetry piggyback into the coordinator's view.
+
+        Three destinations, all per-origin: the coordinator's own
+        accumulated snapshot (:meth:`telemetry_by_origin`, merged with
+        :func:`repro.federate.merge_telemetry` so successive rounds sum
+        exactly), the live metrics registry
+        (:meth:`MetricsRegistry.merge_snapshot`), and the live tracer —
+        the site's span batch is grafted under the currently open
+        ``dist.receive`` span, which is what stitches every site's round
+        tree beneath the coordinator's round timeline.
+        """
+        try:
+            doc = validate_telemetry(report.telemetry)
+        except ValueError as exc:
+            if _METRICS.enabled:
+                _METRICS.count("dist.telemetry.rejected")
+            if span is not None:
+                span.set(rejected="telemetry")
+            raise ProtocolError(
+                f"report from {report.site!r} carries malformed telemetry: {exc}"
+            ) from None
+        origin = doc["origin"]
+        held = self._telemetry.get(origin)
+        self._telemetry[origin] = doc if held is None else merge_telemetry(held, doc)
+        size = telemetry_size_in_bytes(doc)
+        self._telemetry_bytes += size
+        self._telemetry_reports += 1
+        if _METRICS.enabled:
+            _METRICS.count("dist.telemetry.received")
+            _METRICS.count("dist.telemetry.bytes.received", size)
+            _METRICS.merge_snapshot(
+                {
+                    "counters": doc["counters"],
+                    "gauges": doc["gauges"],
+                    "histograms": doc["histograms"],
+                },
+                prefix=origin,
+            )
+        if _TRACER.enabled and doc["spans"]:
+            _TRACER.import_spans(
+                doc["spans"], origin=origin, parent_id=_TRACER.current_span_id()
+            )
+        if span is not None:
+            span.set(telemetry_bytes=size, telemetry_origin=origin)
 
     def receive_all(self, reports: list[SketchReport]) -> RoundSummary:
         """Absorb a batch of reports and summarise the round."""
+        trace_id = next(
+            (
+                r.trace_context["trace_id"]
+                for r in reports
+                if isinstance(r.trace_context, dict) and "trace_id" in r.trace_context
+            ),
+            None,
+        )
         with _TRACER.span(
             "dist.merge_round", reports=len(reports)
-        ) if _TRACER.enabled else nullcontext():
+        ) if _TRACER.enabled else nullcontext() as sp:
+            if sp is not None and trace_id is not None:
+                sp.set(trace_id=trace_id)
             for report in reports:
                 self.receive(report)
         round_number = max((r.round_number for r in reports), default=0)
@@ -118,6 +196,7 @@ class SketchCoordinator:
             sites_reporting=tuple(sorted({r.site for r in reports})),
             bytes_received=sum(r.size_in_bytes() for r in reports),
             reports_merged=len(reports),
+            telemetry_bytes=sum(r.telemetry_size_in_bytes() for r in reports),
         )
 
     # -- global state ----------------------------------------------------------
@@ -182,6 +261,23 @@ class SketchCoordinator:
     def communication_stats(self) -> tuple[int, int]:
         """``(reports merged, total bytes received)`` since start."""
         return self._reports_merged, self._bytes_received
+
+    def telemetry_by_origin(self) -> dict[str, dict]:
+        """Accumulated telemetry snapshot per reporting origin.
+
+        Each value is the :func:`repro.federate.merge_telemetry` fold of
+        every snapshot that origin has shipped — counters are fleet-exact
+        totals, spans are the bounded recent batches.
+        """
+        return dict(self._telemetry)
+
+    def telemetry_stats(self) -> tuple[int, int]:
+        """``(telemetry snapshots absorbed, total telemetry bytes)``.
+
+        The federation-overhead side of :meth:`communication_stats` —
+        comparing the two is how the <5% piggyback budget is checked.
+        """
+        return self._telemetry_reports, self._telemetry_bytes
 
     def __repr__(self) -> str:
         return (

@@ -15,7 +15,9 @@ moves bytes (the tests and example use in-memory delivery).
 from __future__ import annotations
 
 import io
+import json
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..errors import ReproError
 from ..sketches.serialize import load_sketch, save_sketch
@@ -26,22 +28,71 @@ class ProtocolError(ReproError):
 
 
 @dataclass(frozen=True)
+class TraceContext:
+    """Coordinator-minted correlation context for one reporting round.
+
+    The coordinator mints one per round (:meth:`SketchCoordinator.
+    mint_trace_context`) and hands it to the sites; each site stamps it
+    on its reports and its round span, so when the site's span batch is
+    imported coordinator-side the stitched timeline can be grouped by
+    ``trace_id`` across every origin.  Plain strings/ints only — it must
+    survive any JSON transport.
+    """
+
+    trace_id: str
+    round_number: int
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready wire form (what rides on a :class:`SketchReport`)."""
+        return {"trace_id": self.trace_id, "round_number": self.round_number}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TraceContext":
+        """Rebuild from the wire form; raises ``ProtocolError`` if malformed."""
+        trace_id = doc.get("trace_id")
+        round_number = doc.get("round_number")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError(f"trace_context has bad trace_id {trace_id!r}")
+        if not isinstance(round_number, int) or round_number < 0:
+            raise ProtocolError(
+                f"trace_context has bad round_number {round_number!r}"
+            )
+        return cls(trace_id=trace_id, round_number=round_number)
+
+
+@dataclass(frozen=True)
 class SketchReport:
     """One site's synopsis for one stream at one reporting round.
 
     ``payload`` is the ``.npz`` archive produced by
     :func:`repro.sketches.serialize.save_sketch`; ``round_number`` lets the
     coordinator reject stale or duplicated reports.
+
+    The two trailing fields are the federation piggyback (both optional
+    and defaulted, so pre-federation senders and receivers interoperate
+    unchanged): ``trace_context`` echoes the coordinator-minted
+    :class:`TraceContext` wire dict, and ``telemetry`` carries one
+    ``repro.telemetry`` snapshot (:mod:`repro.federate`) — by convention
+    on the *first* report of a site's round, so per-round telemetry is
+    shipped once, not once per stream.
     """
 
     site: str
     stream: str
     round_number: int
     payload: bytes
+    trace_context: dict | None = field(default=None)
+    telemetry: dict | None = field(default=None)
 
     @classmethod
     def from_sketch(
-        cls, site: str, stream: str, round_number: int, sketch
+        cls,
+        site: str,
+        stream: str,
+        round_number: int,
+        sketch,
+        trace_context: dict | None = None,
+        telemetry: dict | None = None,
     ) -> "SketchReport":
         """Package a live sketch into a transportable report."""
         buffer = io.BytesIO()
@@ -51,6 +102,8 @@ class SketchReport:
             stream=stream,
             round_number=round_number,
             payload=buffer.getvalue(),
+            trace_context=trace_context,
+            telemetry=telemetry,
         )
 
     def open_sketch(self):
@@ -62,6 +115,21 @@ class SketchReport:
         exists to minimise."""
         return len(self.payload)
 
+    def telemetry_size_in_bytes(self) -> int:
+        """Wire size of the telemetry piggyback (0 when none rides along).
+
+        Kept separate from :meth:`size_in_bytes` so the federation
+        overhead stays visible next to the sketch payload it rides on —
+        the ``federate.overhead`` bench scenario bounds their ratio.
+        """
+        if self.telemetry is None:
+            return 0
+        return len(
+            json.dumps(
+                self.telemetry, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        )
+
 
 @dataclass(frozen=True)
 class RoundSummary:
@@ -72,3 +140,4 @@ class RoundSummary:
     sites_reporting: tuple[str, ...]
     bytes_received: int
     reports_merged: int = field(default=0)
+    telemetry_bytes: int = field(default=0)

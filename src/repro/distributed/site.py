@@ -22,13 +22,16 @@ closes.  Reports are bit-identical to serial ingestion either way.
 from __future__ import annotations
 
 from contextlib import nullcontext
+from dataclasses import replace
 
 from ..core.estimator import SkimmedSketchSchema
 from ..errors import ParameterError, QueryError
+from ..federate import TelemetryShipper, telemetry_size_in_bytes
 from ..obs import METRICS as _METRICS
 from ..parallel import INGEST_MODES, ShardedIngestor
+from ..profile import RECORDER as _RECORDER
 from ..trace import TRACER as _TRACER
-from .protocol import SketchReport
+from .protocol import SketchReport, TraceContext
 
 #: Supported reporting modes.
 REPORT_MODES = ("cumulative", "delta")
@@ -55,6 +58,12 @@ class SketchSite:
     parallel_mode:
         :data:`~repro.parallel.INGEST_MODES` strategy used when
         ``parallel_workers`` > 1.
+    telemetry:
+        When true the site owns a
+        :class:`~repro.federate.TelemetryShipper` (origin
+        ``site.<name>``) and each :meth:`close_round` piggybacks one
+        telemetry snapshot on the round's first report — provided any
+        observability singleton is actually enabled at close time.
     """
 
     def __init__(
@@ -65,6 +74,7 @@ class SketchSite:
         mode: str = "cumulative",
         parallel_workers: int = 1,
         parallel_mode: str = "thread",
+        telemetry: bool = False,
     ):
         if mode not in REPORT_MODES:
             raise ParameterError(f"mode must be one of {REPORT_MODES}, got {mode!r}")
@@ -94,6 +104,7 @@ class SketchSite:
                 )
                 for stream in streams
             }
+        self.shipper = TelemetryShipper(f"site.{name}") if telemetry else None
         self._round = 0
 
     @property
@@ -133,21 +144,38 @@ class SketchSite:
             return
         self._sketches[stream].update_bulk(values, weights)
 
-    def close_round(self) -> list[SketchReport]:
+    def close_round(
+        self, trace_context: TraceContext | None = None
+    ) -> list[SketchReport]:
         """Finish the current reporting round and emit one report per stream.
 
         In ``delta`` mode the local sketches are reset afterwards, so the
         next round reports only new traffic.
+
+        ``trace_context`` (coordinator-minted, optional) is stamped on
+        the round span and echoed on every report, correlating this
+        site's round with the coordinator's.  When the site was built
+        with ``telemetry=True`` and any observability singleton is
+        enabled, one telemetry snapshot — captured *after* the round span
+        closes, so the round's own spans and counters ride along — is
+        attached to the first report.
         """
         self._round += 1
         if self._ingestors is not None:
             for stream, ingestor in self._ingestors.items():
                 self._sketches[stream] = ingestor.merged()
+        context_doc = trace_context.as_dict() if trace_context is not None else None
         with _TRACER.span(
             "dist.round", site=self.name, round=self._round, mode=self.mode
         ) if _TRACER.enabled else nullcontext() as sp:
             reports = [
-                SketchReport.from_sketch(self.name, stream, self._round, sketch)
+                SketchReport.from_sketch(
+                    self.name,
+                    stream,
+                    self._round,
+                    sketch,
+                    trace_context=context_doc,
+                )
                 for stream, sketch in self._sketches.items()
             ]
             if self.mode == "delta":
@@ -162,12 +190,25 @@ class SketchSite:
                     reports=len(reports),
                     bytes=sum(r.size_in_bytes() for r in reports),
                 )
+                if trace_context is not None:
+                    sp.set(trace_id=trace_context.trace_id)
         if _METRICS.enabled:
             _METRICS.count("dist.rounds.closed")
             _METRICS.count("dist.reports.sent", len(reports))
             _METRICS.count(
                 "dist.bytes.sent", sum(r.size_in_bytes() for r in reports)
             )
+        if self.shipper is not None and (
+            _METRICS.enabled or _TRACER.enabled or _RECORDER.enabled
+        ):
+            telemetry_doc = self.shipper.capture_telemetry()
+            reports[0] = replace(reports[0], telemetry=telemetry_doc)
+            if _METRICS.enabled:
+                _METRICS.count("dist.telemetry.sent")
+                _METRICS.count(
+                    "dist.telemetry.bytes.sent",
+                    telemetry_size_in_bytes(telemetry_doc),
+                )
         return reports
 
     def close(self) -> None:

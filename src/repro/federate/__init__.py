@@ -1,0 +1,68 @@
+"""repro.federate — cross-process telemetry for the distributed fleet.
+
+The observability singletons (``repro.obs.METRICS``,
+``repro.trace.TRACER``, ``repro.profile.RECORDER``,
+``repro.monitor.AUDIT``) are process-local; the paper's deployment (§1)
+is many sites and one coordinator.  This package federates the two:
+
+* :class:`TelemetryShipper` captures a site's singleton state into a
+  versioned, delta-encoded **telemetry snapshot**
+  (:func:`validate_telemetry` / :func:`telemetry_to_json` round-trip it);
+* :class:`~repro.distributed.SketchSite` piggybacks that snapshot on its
+  sketch reports (``telemetry=True``) together with the
+  coordinator-minted :class:`~repro.distributed.TraceContext`, and
+  :class:`~repro.distributed.SketchCoordinator` folds it back into its
+  own registry (counters sum, gauges last-write-by-timestamp, histograms
+  merge reservoirs) and tracer (span trees stitched under the receiving
+  round span, per-origin Perfetto lanes);
+* :class:`FederatedSource` scrapes many such outputs — live monitor
+  endpoints or files — into one origin-labelled Prometheus exposition
+  and a fleet ``/topology`` summary for ``python -m repro.monitor serve
+  --federate``.
+
+``python -m repro.federate`` hosts the CLI: ``selfcheck`` (merge
+algebra + wire round-trips), ``validate`` / ``merge`` for snapshot
+files, and ``run`` (a multi-site demo producing merged metrics, a
+stitched trace, and per-origin telemetry files).
+
+Everything importable here is standard-library only; the ``run``
+demo imports the sketch machinery (numpy) lazily.
+"""
+
+from __future__ import annotations
+
+from .federation import TOPOLOGY_VERSION, FederatedSource, federation_from_args
+from .snapshot import (
+    DEFAULT_HISTOGRAM_SAMPLES,
+    DEFAULT_SPAN_BATCH,
+    TELEMETRY_KIND,
+    TELEMETRY_VERSION,
+    TelemetryShipper,
+    empty_telemetry,
+    merge_all_telemetry,
+    merge_telemetry,
+    telemetry_from_json,
+    telemetry_size_in_bytes,
+    telemetry_to_json,
+    telemetry_to_metrics,
+    validate_telemetry,
+)
+
+__all__ = [
+    "DEFAULT_HISTOGRAM_SAMPLES",
+    "DEFAULT_SPAN_BATCH",
+    "FederatedSource",
+    "TELEMETRY_KIND",
+    "TELEMETRY_VERSION",
+    "TOPOLOGY_VERSION",
+    "TelemetryShipper",
+    "empty_telemetry",
+    "federation_from_args",
+    "merge_all_telemetry",
+    "merge_telemetry",
+    "telemetry_from_json",
+    "telemetry_size_in_bytes",
+    "telemetry_to_json",
+    "telemetry_to_metrics",
+    "validate_telemetry",
+]

@@ -288,18 +288,32 @@ class _MonitorHandler(BaseHTTPRequestHandler):
     server_version = "repro-monitor/1"
     source: MonitorSource  # attached by MonitorServer
     prefix = "repro"
+    # Optional repro.federate.FederatedSource (attached by MonitorServer):
+    # /metrics becomes the origin-labelled federated exposition and
+    # /topology reports the fleet.  Typed loosely so this module keeps
+    # loading standalone without the federate package on sys.path.
+    federation: Any = None
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Dispatch ``/metrics``, ``/health``, ``/audits``, ``/snapshot``,
-        ``/profile``, ``/timeseries``, ``/dashboard``."""
+        ``/profile``, ``/timeseries``, ``/topology``, ``/dashboard``."""
         url = urlparse(self.path)
         source = _stable_source(self.source)
         try:
             if url.path == "/metrics":
-                body = snapshot_to_prometheus(
-                    merged_metrics_snapshot(source), prefix=self.prefix
-                )
+                if self.federation is not None:
+                    body = self.federation.prometheus(prefix=self.prefix)
+                else:
+                    body = snapshot_to_prometheus(
+                        merged_metrics_snapshot(source), prefix=self.prefix
+                    )
                 self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+            elif url.path == "/topology":
+                if self.federation is not None:
+                    payload = self.federation.topology()
+                else:
+                    payload = {"version": 1, "kind": "repro.topology", "origins": {}}
+                self._reply(200, json.dumps(payload), "application/json")
             elif url.path == "/health":
                 audits = source.audit_snapshot()
                 payload = {
@@ -347,7 +361,9 @@ class _MonitorHandler(BaseHTTPRequestHandler):
                 from .dashboard import render_dashboard
 
                 self._reply(
-                    200, render_dashboard(source), "text/html; charset=utf-8"
+                    200,
+                    render_dashboard(source, federation=self.federation),
+                    "text/html; charset=utf-8",
                 )
             else:
                 self._reply(404, f"no such endpoint: {url.path}\n", "text/plain")
@@ -385,9 +401,12 @@ class MonitorServer:
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro",
+        federation: Any = None,
     ) -> None:
         handler = type(
-            "_BoundMonitorHandler", (_MonitorHandler,), {"source": source, "prefix": prefix}
+            "_BoundMonitorHandler",
+            (_MonitorHandler,),
+            {"source": source, "prefix": prefix, "federation": federation},
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None

@@ -26,8 +26,9 @@ Design constraints (enforced by the test suite):
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 #: Reservoir size for histogram percentile estimation.
 DEFAULT_RESERVOIR_SIZE = 2048
@@ -48,17 +49,25 @@ class Counter:
 
 
 class Gauge:
-    """A last-written-wins scalar (thresholds, round numbers, sizes)."""
+    """A last-written-wins scalar (thresholds, round numbers, sizes).
 
-    __slots__ = ("name", "value")
+    Each write stamps ``ts`` with the wall-clock time so last-write-wins
+    stays well-defined when gauges from several *processes* are merged
+    (:meth:`MetricsRegistry.merge_snapshot`): wall-clock timestamps are
+    the only ordering that is comparable across process boundaries.
+    """
+
+    __slots__ = ("name", "value", "ts")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self.ts = 0.0
 
-    def set(self, value: float) -> None:
-        """Overwrite the gauge with ``value``."""
+    def set(self, value: float, ts: float | None = None) -> None:
+        """Overwrite the gauge with ``value`` (stamping the write time)."""
         self.value = float(value)
+        self.ts = time.time() if ts is None else float(ts)
 
 
 class Histogram:
@@ -119,6 +128,54 @@ class Histogram:
         ordered = sorted(self._samples)
         rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
+
+    def state(self, max_samples: int | None = None) -> dict[str, Any]:
+        """Reservoir-carrying dump for cross-process merging.
+
+        Unlike :meth:`summary` (quantiles only, not mergeable) the state
+        keeps raw reservoir samples, so two histograms built in different
+        processes can be folded together with :meth:`merge_state`.
+        ``max_samples`` bounds the shipped reservoir with an even stride
+        across the sorted samples, preserving the spread.
+        """
+        samples = sorted(self._samples)
+        if max_samples is not None and len(samples) > max_samples:
+            step = len(samples) / max_samples
+            samples = [samples[int(i * step)] for i in range(max_samples)]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "samples": samples,
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold a foreign histogram :meth:`state` into this one.
+
+        Count/sum add exactly; min/max combine; foreign reservoir samples
+        are folded through the same deterministic replacement policy as
+        :meth:`record`, so the merged reservoir stays bounded at ``_cap``
+        and remains an (approximate) sample of the union distribution.
+        """
+        count = int(state.get("count", 0))
+        if count <= 0:
+            return
+        self.sum += float(state.get("sum", 0.0))
+        low, high = float(state.get("min", 0.0)), float(state.get("max", 0.0))
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+        self.count += count
+        for value in state.get("samples", ()):
+            value = float(value)
+            if len(self._samples) < self._cap:
+                self._samples.append(value)
+            else:
+                slot = self._next_rand() % self.count
+                if slot < self._cap:
+                    self._samples[slot] = value
 
     def summary(self) -> dict[str, float]:
         """JSON-ready summary: count/sum/min/max/mean and p50/p95/p99."""
@@ -202,7 +259,15 @@ class MetricsRegistry:
     catalogue the library itself emits).
     """
 
-    __slots__ = ("enabled", "_counters", "_gauges", "_histograms", "reservoir_size")
+    __slots__ = (
+        "enabled",
+        "_counters",
+        "_gauges",
+        "_histograms",
+        "reservoir_size",
+        "_lock",
+        "generation",
+    )
 
     def __init__(self, enabled: bool = False, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
         self.enabled = enabled
@@ -210,6 +275,8 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+        self.generation = 0
 
     # -- switch ------------------------------------------------------------
 
@@ -243,6 +310,21 @@ class MetricsRegistry:
         if value is not None and self.enabled:
             found.set(value)
         return found
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise a gauge to ``value`` if it is currently below it.
+
+        No-op while disabled.  The read-modify-write runs under the
+        registry lock, so concurrent writers (e.g. report receipt racing
+        a threaded ``/metrics`` scrape) cannot interleave a lower value
+        over a higher one the way an unsynchronised compare-then-set can.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            found = self.gauge(name)
+            if float(value) > found.value or found.ts == 0.0:
+                found.set(value)
 
     def histogram(self, name: str) -> Histogram:
         """The named histogram, created empty if absent."""
@@ -289,11 +371,52 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Any], prefix: str | None = None
+    ) -> None:
+        """Fold a foreign process's metric state into this registry.
+
+        The inverse operation of shipping a telemetry snapshot
+        (:mod:`repro.federate`): **counters sum** (the foreign values are
+        deltas, so repeated merges of successive snapshots accumulate
+        exactly), **gauges take the last write by wall-clock timestamp**
+        (foreign gauges may arrive as ``[value, ts]`` pairs; a plain
+        number merges with timestamp 0, i.e. it never overrides a local
+        write), and **histograms merge reservoirs** via
+        :meth:`Histogram.merge_state`.
+
+        This is an administrative operation like :meth:`snapshot` — it
+        applies even while the registry is disabled, because the caller
+        (coordinator / parallel flush) decides whether federation is on
+        and guards with ``enabled`` at the call site.  ``prefix`` is
+        prepended (dot-joined) to every merged metric name, which is how
+        per-shard worker telemetry lands under ``parallel.shard.N.*``.
+        """
+        qualify = (lambda n: f"{prefix}.{n}") if prefix else (lambda n: n)
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(qualify(name)).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            if isinstance(value, (list, tuple)):
+                level, ts = float(value[0]), float(value[1])
+            else:
+                level, ts = float(value), 0.0
+            found = self.gauge(qualify(name))
+            if ts >= found.ts:
+                found.set(level, ts=ts)
+        for name, state in snapshot.get("histograms", {}).items():
+            if isinstance(state, Mapping) and "samples" in state:
+                self.histogram(qualify(name)).merge_state(state)
+
     def reset(self) -> None:
-        """Drop every metric (the enabled flag is left as-is)."""
+        """Drop every metric (the enabled flag is left as-is).
+
+        Bumps ``generation`` so delta-tracking readers (the federation
+        shipper's watermarks) can tell a reset from mere inactivity.
+        """
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self.generation += 1
 
     def __repr__(self) -> str:
         return (

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import ParameterError
+from ..obs import METRICS as _METRICS
 from ..profile import PROFILER as _PROFILER, RECORDER as _RECORDER
 from ..streams.engine import StreamEngine, _RegisteredStream
 from ..streams.query import Predicate, Query
@@ -112,9 +113,19 @@ class ParallelStreamEngine(StreamEngine):
 
         Lazy underneath: streams with no new batches since their last
         merge cost nothing (dirty-flag caching in the ingestor).
+
+        In ``"process"`` mode the merge also surfaces each worker
+        process's ingest vitals — counters its own (process-local,
+        disabled) singletons would have discarded — into this process's
+        registry as ``parallel.shard.<N>.worker.*``.
         """
         for name, ingestor in self._ingestors.items():
             self._streams[name].synopsis = ingestor.merged()
+            telemetry = ingestor.drain_worker_telemetry()
+            if _METRICS.enabled:
+                for shard, stats in telemetry:
+                    for key, value in stats.items():
+                        _METRICS.count(f"parallel.shard.{shard}.{key}", value)
 
     def answer(self, query: Query) -> float:
         """Answer a query over the merged (serial-identical) synopses."""

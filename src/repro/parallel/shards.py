@@ -105,6 +105,13 @@ def partition_batch(
 
 _WORKER_SKETCHES: dict[str, AnySketch] = {}
 
+# Per-process ingest vitals the worker's own (disabled, process-local)
+# observability singletons would otherwise discard.  Shipped to the
+# parent at flush time alongside the sketch state, where the engine
+# surfaces them as ``parallel.shard.N.*`` counters (repro.federate's
+# answer to the process-local-singleton caveat).
+_WORKER_STATS: dict[str, dict[str, float]] = {}
+
 
 def _worker_ingest(
     spec_json: str, values: np.ndarray, weights: np.ndarray | None
@@ -115,12 +122,20 @@ def _worker_ingest(
         sketch = sketch_from_spec(json.loads(spec_json))
         _WORKER_SKETCHES[spec_json] = sketch  # repro: noqa[R10] -- per-process worker-local accumulator; each key sees exactly one shard's batches
     sketch.update_bulk(values, weights)
+    stats = _WORKER_STATS.get(spec_json)
+    if stats is None:
+        stats = _WORKER_STATS[spec_json] = {"worker.batches": 0.0, "worker.elements": 0.0}  # repro: noqa[R10] -- same per-process worker-local accumulator pattern as the sketch above
+    stats["worker.batches"] += 1.0
+    stats["worker.elements"] += float(values.size)
 
 
-def _worker_collect(spec_json: str) -> dict[str, Any] | None:
-    """Return (and clear) this process's accumulated shard counters."""
+def _worker_collect(
+    spec_json: str,
+) -> tuple[dict[str, Any] | None, dict[str, float]]:
+    """Return (and clear) this process's shard counters and ingest stats."""
     sketch = _WORKER_SKETCHES.pop(spec_json, None)  # repro: noqa[R10] -- drains this process's own shard at the flush seam itself
-    return None if sketch is None else sketch_state(sketch)
+    stats = _WORKER_STATS.pop(spec_json, {})  # repro: noqa[R10] -- drained with the sketch at the same flush seam
+    return (None if sketch is None else sketch_state(sketch)), stats
 
 
 # -- execution strategies ------------------------------------------------------
@@ -142,6 +157,11 @@ class _SerialStrategy:
     def flush(self, shards: list[AnySketch]) -> list[AnySketch]:
         """Nothing pending: shards are always current."""
         return shards
+
+    def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
+        """Inline ingestion records into the parent's own singletons —
+        there is no foreign-process state to surface."""
+        return []
 
     def close(self) -> None:
         """Nothing to shut down."""
@@ -172,6 +192,10 @@ class _ThreadStrategy:
         """Every batch was awaited at ingest time: shards are current."""
         return shards
 
+    def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
+        """Threads share the parent's singletons — nothing to surface."""
+        return []
+
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
         self._executor.shutdown(wait=True)
@@ -187,6 +211,9 @@ class _ProcessStrategy:
     def __init__(self, workers: int, spec_json: str) -> None:
         self._spec_json = spec_json
         self._executors: list[Executor | None] = [None] * workers
+        # shard -> ingest stats collected from the shard's worker process
+        # at flush time, held until the engine drains them.
+        self._pending_stats: dict[int, dict[str, float]] = {}
 
     def _executor_for(self, shard: int) -> Executor:
         executor = self._executors[shard]
@@ -211,15 +238,30 @@ class _ProcessStrategy:
         _collect_results(futures)
 
     def flush(self, shards: list[AnySketch]) -> list[AnySketch]:
-        """Pull accumulated counters out of every live worker and merge."""
+        """Pull accumulated counters out of every live worker and merge.
+
+        Each worker also returns its ingest stats; they accumulate in
+        ``_pending_stats`` until :meth:`drain_worker_telemetry` hands
+        them to the engine (flush can run several times between drains).
+        """
         current = list(shards)
         for i, executor in enumerate(self._executors):
             if executor is None:
                 continue
-            state = executor.submit(_worker_collect, self._spec_json).result()
+            state, stats = executor.submit(_worker_collect, self._spec_json).result()
             if state is not None:
                 current[i] = merge_sketch_state(current[i], state)
+            if stats:
+                held = self._pending_stats.setdefault(i, {})
+                for key, value in stats.items():
+                    held[key] = held.get(key, 0.0) + value
         return current
+
+    def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
+        """Hand over (and clear) per-shard worker stats gathered at flush."""
+        drained = sorted(self._pending_stats.items())
+        self._pending_stats = {}
+        return drained
 
     def close(self) -> None:
         """Shut every per-shard pool down (idempotent)."""
@@ -377,6 +419,17 @@ class ShardedIngestor:
         self._merged = merged
         self._dirty = False
         return merged
+
+    def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
+        """Per-shard ingest stats collected from worker processes.
+
+        Non-empty only in ``"process"`` mode after a flush (``merged()``
+        / ``reset()`` / ``close()``): each entry is ``(shard_index,
+        {"worker.batches": ..., "worker.elements": ...})`` — the vitals
+        the worker's process-local singletons couldn't publish.  Draining
+        clears the pending stats, so each call reports new activity only.
+        """
+        return self._strategy.drain_worker_telemetry()
 
     def reset(self) -> None:
         """Drop all accumulated state (fresh shards, empty workers)."""

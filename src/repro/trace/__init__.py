@@ -45,6 +45,7 @@ from .export import (
     render_summary,
     summarize_trace,
     trace_from_jsonl,
+    trace_origins,
     trace_to_chrome,
     trace_to_jsonl,
     validate_trace,
@@ -116,6 +117,7 @@ __all__ = [
     "snapshot",
     "summarize_trace",
     "trace_from_jsonl",
+    "trace_origins",
     "trace_to_chrome",
     "trace_to_jsonl",
     "validate_trace",

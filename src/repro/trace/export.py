@@ -118,14 +118,39 @@ def validate_trace(snapshot: Any) -> dict[str, Any]:
     return snapshot
 
 
+def trace_origins(snapshot: dict[str, Any]) -> list[str]:
+    """Distinct ``origin=`` attribute values present in a trace, sorted.
+
+    Spans without an origin (recorded locally rather than imported via
+    :meth:`SpanTracer.import_spans`) are not listed — they belong to the
+    local lane.
+    """
+    origins = {
+        span["attrs"]["origin"]
+        for span in snapshot.get("spans", [])
+        if isinstance(span.get("attrs"), dict) and "origin" in span["attrs"]
+    }
+    return sorted(str(o) for o in origins)
+
+
 def trace_to_chrome(snapshot: dict[str, Any]) -> dict[str, Any]:
     """Convert a validated trace to the Chrome/Perfetto ``trace_event`` dict.
 
     Spans become complete events (``"ph": "X"``) and zero-duration
     records become thread-scoped instants (``"ph": "i"``); timestamps
     are microseconds since the tracer epoch, as the format requires.
+
+    One timeline, one lane per origin: local spans render in pid/tid 1
+    and every distinct ``origin=`` attribute (site span trees imported by
+    the coordinator, see :mod:`repro.federate`) gets its own pid/tid with
+    a ``process_name`` metadata event, so a stitched federation trace
+    shows each site's rounds in a separate named track under the
+    coordinator's timeline.
     """
     validate_trace(snapshot)
+    lanes: dict[str | None, int] = {None: 1}
+    for index, origin in enumerate(trace_origins(snapshot), start=2):
+        lanes[origin] = index
     events: list[dict[str, Any]] = [
         {
             "name": "process_name",
@@ -134,15 +159,27 @@ def trace_to_chrome(snapshot: dict[str, Any]) -> dict[str, Any]:
             "args": {"name": "repro (skimmed sketches)"},
         }
     ]
+    for origin, pid in lanes.items():
+        if origin is not None:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": f"repro origin: {origin}"},
+                }
+            )
     for span in snapshot["spans"]:
+        attrs = span["attrs"]
+        pid = lanes[attrs["origin"]] if "origin" in attrs else 1
         duration_us = (span["end"] - span["start"]) * 1e6
         event: dict[str, Any] = {
             "name": span["name"],
             "cat": span["name"].split(".")[0],
-            "pid": 1,
-            "tid": 1,
+            "pid": pid,
+            "tid": pid,
             "ts": span["start"] * 1e6,
-            "args": dict(span["attrs"], span_id=span["id"]),
+            "args": dict(attrs, span_id=span["id"]),
         }
         if duration_us > 0:
             event["ph"] = "X"

@@ -189,6 +189,54 @@ class SpanTracer:
         else:
             self.dropped += 1
 
+    def import_spans(
+        self,
+        spans: list[dict[str, Any]],
+        origin: str,
+        parent_id: int | None = None,
+    ) -> int:
+        """Graft foreign finished spans (wire records) into this tracer.
+
+        The cross-process stitching half of trace-context propagation: a
+        site ships its span batch inside a telemetry snapshot and the
+        coordinator calls this to place the site's span tree on its own
+        timeline.  Span ids are **remapped** into this tracer's id space
+        (foreign ids are only unique per origin); parent links inside the
+        batch are remapped consistently, and batch roots — plus any span
+        whose parent is outside the batch — are re-parented under
+        ``parent_id`` (typically the coordinator's currently open round
+        span).  Every imported span gets an ``origin=`` attribute unless
+        it already carries one, which is what the Perfetto exporter keys
+        its per-origin lanes on.
+
+        Timestamps stay in the origin's epoch.  ``max_spans`` is
+        respected (overflow counts into ``dropped``).  Administrative —
+        callers guard with ``TRACER.enabled`` like every other hook.
+        Returns the number of spans kept.
+        """
+        id_map: dict[int, int] = {}
+        for record in spans:
+            id_map[int(record["id"])] = self._next_id
+            self._next_id += 1
+        kept = 0
+        for record in spans:
+            parent = record.get("parent")
+            mapped = id_map.get(parent, parent_id) if parent is not None else parent_id
+            attributes = dict(record.get("attrs") or {})
+            attributes.setdefault("origin", origin)
+            span = Span(
+                str(record["name"]),
+                id_map[int(record["id"])],
+                mapped,
+                float(record["start"]),
+                attributes,
+            )
+            span.end = float(record["end"])
+            before = len(self._spans)
+            self._keep(span)
+            kept += len(self._spans) - before
+        return kept
+
     # -- reading -----------------------------------------------------------
 
     def current_span_name(self) -> str | None:
@@ -203,6 +251,18 @@ class SpanTracer:
         """
         try:
             return self._stack[-1].name
+        except IndexError:
+            return None
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost *open* span (``None`` outside any span).
+
+        The anchor :meth:`import_spans` callers use to stitch foreign
+        span trees under the span doing the importing.  Same best-effort
+        single-indexing-op read as :meth:`current_span_name`.
+        """
+        try:
+            return self._stack[-1].span_id
         except IndexError:
             return None
 

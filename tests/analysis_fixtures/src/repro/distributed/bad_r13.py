@@ -1,0 +1,17 @@
+"""R13 fixture: telemetry snapshots captured without the enabled-flag guard."""
+
+from ..obs import METRICS as _METRICS
+
+
+def close_round(site, shipper):
+    reports = site.build_reports()
+    doc = shipper.capture_telemetry()  # R13: no guard
+    reports[0].telemetry = doc
+    return reports
+
+
+def attach(report, shipper):
+    if _METRICS.enabled:
+        pass  # guard branch never reaches the capture below
+    report.telemetry = shipper.capture_telemetry()  # R13: guard closed above
+    return report

@@ -192,3 +192,69 @@ class TestCoordinator:
         coordinator.receive_all(site.close_round())
         assert coordinator.sites_for("f") == ["edge1"]
         assert coordinator.est_self_join_size("f") == pytest.approx(100.0)
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        from repro.distributed import TraceContext
+
+        context = TraceContext(trace_id="fleet-round-000007", round_number=7)
+        assert TraceContext.from_dict(context.as_dict()) == context
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {},
+            {"trace_id": "", "round_number": 1},
+            {"trace_id": "x", "round_number": -1},
+            {"trace_id": "x", "round_number": "1"},
+        ],
+    )
+    def test_malformed_context_rejected(self, doc):
+        from repro.distributed import TraceContext
+
+        with pytest.raises(ProtocolError):
+            TraceContext.from_dict(doc)
+
+    def test_coordinator_mints_sequential_ids(self):
+        from repro.distributed import SketchCoordinator
+
+        coordinator = SketchCoordinator(make_schema())
+        first = coordinator.mint_trace_context()
+        second = coordinator.mint_trace_context()
+        assert first.trace_id == "fleet-round-000001"
+        assert (second.trace_id, second.round_number) == ("fleet-round-000002", 2)
+        explicit = coordinator.mint_trace_context(round_number=42)
+        assert explicit.round_number == 42
+
+    def test_reports_echo_minted_context(self):
+        from repro.distributed import SketchCoordinator
+
+        schema = make_schema()
+        site = SketchSite("a", schema, streams=["R", "S"])
+        coordinator = SketchCoordinator(schema)
+        site.observe("R", 5)
+        context = coordinator.mint_trace_context()
+        reports = site.close_round(context)
+        assert all(r.trace_context == context.as_dict() for r in reports)
+        coordinator.receive_all(reports)  # context-carrying reports merge fine
+
+    def test_legacy_report_shape_still_accepted(self):
+        """Pre-federation reports (no context, no telemetry) interoperate."""
+        schema = make_schema()
+        site = SketchSite("a", schema, streams=["R"])
+        site.observe("R", 5)
+        report = site.close_round()[0]
+        assert report.trace_context is None
+        assert report.telemetry is None
+        assert report.telemetry_size_in_bytes() == 0
+        legacy = SketchReport(
+            site=report.site,
+            stream=report.stream,
+            round_number=report.round_number,
+            payload=report.payload,
+        )
+        coordinator = SketchCoordinator(schema)
+        summary = coordinator.receive_all([legacy])
+        assert summary.reports_merged == 1
+        assert summary.telemetry_bytes == 0

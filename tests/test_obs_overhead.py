@@ -167,3 +167,28 @@ def test_enabled_update_bulk_overhead_is_batch_level(rng):
         f"enabled update_bulk {enabled * 1e3:.2f}ms vs disabled "
         f"{disabled * 1e3:.2f}ms — recording must stay per-batch"
     )
+
+
+def test_disabled_telemetry_site_close_round_stays_free(rng):
+    """A telemetry-enabled site with every singleton off must close
+    rounds at the plain site's speed: the federation hook is one
+    attribute-read guard, never a snapshot capture."""
+    from repro.core.estimator import SkimmedSketchSchema
+    from repro.distributed import SketchSite
+
+    schema = SkimmedSketchSchema(128, 5, 1 << 10, seed=3)
+    values = rng.integers(0, 1 << 10, size=10_000).astype(np.int64)
+
+    def closed_round(telemetry: bool) -> float:
+        site = SketchSite("edge", schema, streams=["R"], telemetry=telemetry)
+        site.observe_bulk("R", values)
+        site.close_round()  # warm
+        return _best_of(REPEATS, lambda: site.close_round())
+
+    plain = closed_round(False)
+    federated = closed_round(True)
+    assert federated <= plain * MAX_FACTOR + SLACK_SECONDS, (
+        f"telemetry-enabled close_round {federated * 1e3:.2f}ms vs plain "
+        f"{plain * 1e3:.2f}ms — the disabled federation hook must be a "
+        "single guarded branch"
+    )

@@ -393,3 +393,78 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "updates/sec" in out
+
+
+class TestWorkerTelemetry:
+    """Process-mode workers surface their ingest vitals at flush time.
+
+    Worker processes run with their own (disabled) observability
+    singletons, so their counters would silently vanish; the federation
+    PR routes them back with the sketch state and merges them into the
+    parent registry as ``parallel.shard.<N>.worker.*``.
+    """
+
+    def _ingest(self, engine, rng, n=4000, batches=4):
+        values = rng.integers(0, DOMAIN, size=n, dtype=np.int64)
+        engine.register_stream("f")
+        for chunk in np.array_split(values, batches):
+            engine.process_bulk("f", chunk, None)
+        return n
+
+    def test_process_mode_flush_surfaces_worker_counters(self, rng):
+        from repro.obs import METRICS
+
+        METRICS.enable()
+        with ParallelStreamEngine(
+            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode="process"
+        ) as engine:
+            n = self._ingest(engine, rng)
+            engine.flush()
+        counters = METRICS.snapshot()["counters"]
+        elements = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("parallel.shard.") and name.endswith("worker.elements")
+        }
+        assert elements, "flush must merge worker counters into the registry"
+        assert sum(elements.values()) == float(n)
+        batches = [
+            value
+            for name, value in counters.items()
+            if name.startswith("parallel.shard.") and name.endswith("worker.batches")
+        ]
+        assert sum(batches) >= 1.0
+
+    def test_flush_drains_even_while_disabled(self, rng):
+        from repro.obs import METRICS
+
+        with ParallelStreamEngine(
+            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode="process"
+        ) as engine:
+            self._ingest(engine, rng)
+            engine.flush()  # disabled: stats must be dropped, not queued
+            METRICS.enable()
+            engine.process_bulk(
+                "f", np.asarray([1, 2, 3], dtype=np.int64), None
+            )
+            engine.flush()
+        counters = METRICS.snapshot()["counters"]
+        elements = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("parallel.shard.") and name.endswith("worker.elements")
+        )
+        assert elements == 3.0
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_in_process_modes_have_no_worker_telemetry(self, mode, rng):
+        from repro.obs import METRICS
+
+        METRICS.enable()
+        with ParallelStreamEngine(
+            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode=mode
+        ) as engine:
+            self._ingest(engine, rng)
+            engine.flush()
+        counters = METRICS.snapshot()["counters"]
+        assert not any(name.startswith("parallel.shard.") for name in counters)
