@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke federate-smoke lint check clean
+.PHONY: install test bench bench-smoke experiments examples metrics-smoke monitor-smoke parallel-smoke scaling-gate profile-smoke workloads-smoke federate-smoke lint check clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,7 +26,7 @@ lint:
 	fi
 
 # Umbrella gate: everything CI runs.
-check: lint test metrics-smoke monitor-smoke parallel-smoke profile-smoke workloads-smoke federate-smoke
+check: lint test metrics-smoke monitor-smoke parallel-smoke scaling-gate profile-smoke workloads-smoke federate-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -80,6 +80,16 @@ monitor-smoke:
 # mismatch.  See docs/PERFORMANCE.md.
 parallel-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.parallel selfcheck --workers 4
+
+# "Parallel must win": shared-memory ingest at >1 worker must beat
+# serial updates/s above the documented batch-size threshold (see
+# docs/PERFORMANCE.md).  Gates the committed BENCH_pr10.json records —
+# deterministic, so it holds on any machine.  Run
+# `python -m repro.parallel scaling-gate` with no --bench-json to
+# measure and gate live on this machine instead.
+scaling-gate:
+	PYTHONPATH=src $(PYTHON) -m repro.parallel scaling-gate \
+		--bench-json benchmarks/results/BENCH_pr10.json
 
 # Continuous-profiling selfcheck: run a sampled+recorded workload, prove
 # span attribution, exporter round trips (collapsed/speedscope/JSONL),

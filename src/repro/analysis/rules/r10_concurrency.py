@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import ast
+import re
 from typing import TYPE_CHECKING, Iterator
 
 from ..findings import Finding
@@ -29,6 +30,12 @@ _MUTATORS = frozenset(
     }
 )
 
+#: Names that, by parallel-plane convention, hold one entry *per shard*
+#: (attached counter views, shared-memory segments, shard sketches).
+#: Worker-plane code indexing into such a collection to write can reach
+#: another worker's memory.
+_SHARD_COLLECTIONS = re.compile(r"(?:^|_)(?:views|segments|shards)$")
+
 
 @register
 class ConcurrencyDiscipline(Rule):
@@ -42,19 +49,32 @@ class ConcurrencyDiscipline(Rule):
     (shard list, dirty flag, pending counters) or mutating module-level
     state is a data race waiting for the shared-memory rewrite.
 
+    The shared-memory mode sharpens the discipline: a worker's writes to
+    sketch counters are legal only inside its *own* attached segment
+    view (shard ``i`` -> worker ``i``), with everything else crossing at
+    the flush barrier.  Indexing into a per-shard collection (``views``,
+    ``segments``, ``shards``) to write is how code reaches *another*
+    worker's memory, so the pass treats it as a violation regardless of
+    the index expression.
+
     This pass builds the worker-plane call closure over
     ``repro.parallel`` and flags writes, from inside it, to (a) any
-    attribute name a coordinator class initialises in ``__init__`` or
-    (b) any module-level variable.
+    attribute name a coordinator class initialises in ``__init__``,
+    (b) any module-level variable, or (c) any element of a per-shard
+    collection.
 
-    Example violation::
+    Example violations::
 
         class _EagerStrategy:
             def ingest(self, owner, parts):
                 owner._merged = None        # R10: bypasses the flush seam
 
+        def _worker_scrub(views, shard):
+            views[shard + 1][:] = 0.0       # R10: another shard's view
+
     Fix: leave coordinator state to the coordinator; hand results back
-    from ``flush`` and let ``merged()`` fold them in.
+    from ``flush`` and let ``merged()`` fold them in; write counters
+    only through the single view the worker attached at startup.
     """
 
     rule_id = "R10"
@@ -158,6 +178,15 @@ def _worker_seeds(graph: CallGraph, parallel_paths: set[str]) -> list[str]:
     return seeds
 
 
+def _is_shard_collection(base: ast.AST) -> bool:
+    """True if ``base`` names a per-shard collection (views/segments/shards)."""
+    if isinstance(base, ast.Name):
+        return bool(_SHARD_COLLECTIONS.search(base.id))
+    if isinstance(base, ast.Attribute):
+        return bool(_SHARD_COLLECTIONS.search(base.attr))
+    return False
+
+
 def _shared_writes(
     fn: FunctionNode,
     shared_attrs: frozenset[str],
@@ -182,8 +211,10 @@ def _shared_writes(
             )
             for target in targets:
                 base = target
+                subscripted = False
                 while isinstance(base, ast.Subscript):
                     base = base.value
+                    subscripted = True
                 if isinstance(base, ast.Attribute) and base.attr in shared_attrs:
                     receiver_is_self = (
                         isinstance(base.value, ast.Name)
@@ -192,6 +223,13 @@ def _shared_writes(
                     if in_init and receiver_is_self:
                         continue
                     yield base, f"coordinator attribute `{base.attr}`"
+                elif subscripted and _is_shard_collection(base):
+                    name = base.id if isinstance(base, ast.Name) else base.attr
+                    yield base, (
+                        f"through shard-view collection `{name}` (a worker "
+                        "owns exactly one attached view; indexing across "
+                        "the collection reaches another worker's memory)"
+                    )
                 elif isinstance(base, ast.Name) and base.id in module_state:
                     if base is target:
                         # Rebinding a local of the same name, not the global

@@ -233,6 +233,19 @@ def _ingest_parallel_suites(workers: int) -> dict[str, dict[str, Any]]:
     }
 
 
+def _ingest_parallel_shm_suites(workers: int) -> dict[str, dict[str, Any]]:
+    """Suite params for one worker count of the shared-memory series.
+
+    ``workers=1`` runs the serial no-executor path (the ingestor
+    short-circuits), so that record is the honest single-core reference
+    the parallel-scaling gate compares the shm records against.
+    """
+    suites = _ingest_parallel_suites(workers)
+    for params in suites.values():
+        params["mode"] = "serial" if workers == 1 else "shm"
+    return suites
+
+
 for _workers in (1, 2, 4):
     _register(
         "ingest.parallel",
@@ -240,6 +253,13 @@ for _workers in (1, 2, 4):
         f"{_workers} worker(s) (records are keyed by the workers param; "
         "compare against workers=1 for the scaling curve)",
         _ingest_parallel_suites(_workers),
+    )(_run_ingest_parallel)
+    _register(
+        "ingest.parallel.shm",
+        "ShardedIngestor shared-memory ingest (zero-copy flush, deferred "
+        f"hashing) at {_workers} worker(s); the workers=1 record is the "
+        "serial reference the parallel-scaling CI gate compares against",
+        _ingest_parallel_shm_suites(_workers),
     )(_run_ingest_parallel)
 
 

@@ -176,11 +176,39 @@ class SkimmedSketch(StreamSynopsis):
     def update_bulk(self, values: np.ndarray, weights: np.ndarray | None = None) -> None:
         self._inner.update_bulk(values, weights)
 
+    def update_coalesced(
+        self,
+        values: np.ndarray,
+        masses: np.ndarray,
+        observed_mass: float | None = None,
+    ) -> None:
+        """Pre-coalesced ingest, delegated to the wrapped hash/dyadic sketch."""
+        self._inner.update_coalesced(values, masses, observed_mass)
+
     def size_in_counters(self) -> int:
         return self._inner.size_in_counters()
 
     def seed_words(self) -> int:
         return self._inner.seed_words()
+
+    # -- external counter storage (shared-memory seam) --------------------------
+
+    def counters_view(self) -> list[np.ndarray]:
+        """Writable views of the wrapped sketch's counter blocks."""
+        return self._inner.counters_view()
+
+    def attach_counters(self, buffers: list[np.ndarray]) -> None:
+        """Re-home the wrapped sketch's counters; see
+        :meth:`HashSketch.attach_counters`."""
+        self._inner.attach_counters(buffers)
+
+    def tracked_masses(self) -> list[float]:
+        """Tracked ``sum |weight|`` per wrapped counter block."""
+        return self._inner.tracked_masses()
+
+    def set_tracked_masses(self, masses: list[float]) -> None:
+        """Install tracked masses captured by :meth:`tracked_masses`."""
+        self._inner.set_tracked_masses(masses)
 
     # -- queries ------------------------------------------------------------------
 

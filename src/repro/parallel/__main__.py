@@ -3,11 +3,17 @@
 Prove serial-vs-sharded exactness on a seeded stream (exit 1 on any
 counter or query mismatch)::
 
-    python -m repro.parallel selfcheck --workers 4 --modes thread,process
+    python -m repro.parallel selfcheck --workers 4 --modes thread,process,shm
 
 Measure ingest throughput as the worker count scales::
 
-    python -m repro.parallel bench --workers-list 1,2,4
+    python -m repro.parallel bench --workers-list 1,2,4 --mode shm
+
+Enforce the "parallel must win" contract (exit 1 if shared-memory
+ingest at >1 worker does not beat serial throughput)::
+
+    python -m repro.parallel scaling-gate --bench-json benchmarks/results/BENCH_pr10.json
+    python -m repro.parallel scaling-gate            # live measurement
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ if TYPE_CHECKING:
 
     from ..sketches.serialize import AnySketch
 
-_DEFAULT_MODES = "serial,thread,process"
+_DEFAULT_MODES = "serial,thread,process,shm"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,7 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default="1,2,4",
         help="comma-separated worker counts to time (default: 1,2,4)",
     )
-    bench.add_argument("--mode", default="thread", choices=("thread", "process"))
+    bench.add_argument(
+        "--mode", default="thread", choices=("serial", "thread", "process", "shm")
+    )
     bench.add_argument("--domain", type=int, default=1 << 14)
     bench.add_argument("--elements", type=int, default=200_000)
     bench.add_argument("--batch", type=int, default=8_192)
@@ -67,6 +75,34 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--synopsis", default="hash", choices=("skimmed", "agms", "hash")
     )
+
+    gate = sub.add_parser(
+        "scaling-gate",
+        help="fail (exit 1) unless shm ingest at >1 worker beats serial",
+    )
+    gate.add_argument(
+        "--bench-json",
+        default=None,
+        help="gate a committed BENCH document (ingest.parallel.shm records) "
+        "instead of measuring live",
+    )
+    gate.add_argument(
+        "--min-batch",
+        type=int,
+        default=8_192,
+        help="only gate records at or above this batch size — the "
+        "documented threshold where shm must win (default: 8192)",
+    )
+    gate.add_argument(
+        "--workers-list",
+        default="2,4",
+        help="worker counts to gate / measure (default: 2,4)",
+    )
+    gate.add_argument("--domain", type=int, default=1 << 12)
+    gate.add_argument("--elements", type=int, default=500_000)
+    gate.add_argument("--batch", type=int, default=8_192)
+    gate.add_argument("--seed", type=int, default=7)
+    gate.add_argument("--repeats", type=int, default=3)
     return parser
 
 
@@ -201,12 +237,128 @@ def _bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gate_from_file(args: argparse.Namespace) -> int:
+    """Gate a committed BENCH document's ingest.parallel.shm records.
+
+    Baselines are the series' own ``workers=1`` records (the serial
+    no-executor path); a gated record passes when its ``updates_per_sec``
+    strictly beats the baseline with matching stream parameters.
+    Deterministic — CI can enforce the contract without re-measuring.
+    """
+    from ..bench.schema import read_bench
+
+    doc = read_bench(args.bench_json)
+    shm_records = [
+        r for r in doc["records"] if r["scenario"] == "ingest.parallel.shm"
+    ]
+
+    def stream_key(record: dict) -> tuple:
+        params = record["params"]
+        return tuple(
+            params.get(k) for k in ("n", "batch", "domain", "width", "depth", "seed")
+        )
+
+    baselines = {
+        stream_key(r): r for r in shm_records if r["params"]["workers"] == 1
+    }
+    gated = [
+        r
+        for r in shm_records
+        if r["params"]["workers"] > 1
+        and r["params"].get("batch", 0) >= args.min_batch
+    ]
+    if not gated:
+        print(
+            f"scaling-gate FAILED: {args.bench_json} has no "
+            f"ingest.parallel.shm records with workers>1 and "
+            f"batch>={args.min_batch}"
+        )
+        return 1
+    failures = 0
+    print(f"{'workers':>8} {'shm upd/s':>14} {'serial upd/s':>14} {'speedup':>8}")
+    for record in sorted(gated, key=lambda r: r["params"]["workers"]):
+        baseline = baselines.get(stream_key(record))
+        if baseline is None:
+            print(f"scaling-gate FAILED: no workers=1 baseline for {record['params']}")
+            failures += 1
+            continue
+        shm_rate = record["updates_per_sec"] or 0.0
+        serial_rate = baseline["updates_per_sec"] or 0.0
+        speedup = shm_rate / serial_rate if serial_rate else float("inf")
+        verdict = "ok" if shm_rate > serial_rate else "FAIL"
+        print(
+            f"{record['params']['workers']:>8} {shm_rate:>14,.0f} "
+            f"{serial_rate:>14,.0f} {speedup:>7.2f}x {verdict}"
+        )
+        if shm_rate <= serial_rate:
+            failures += 1
+    if failures:
+        print(f"scaling-gate FAILED: {failures} record(s) did not beat serial")
+        return 1
+    print(f"scaling-gate OK: {len(gated)} shm record(s) beat serial")
+    return 0
+
+
+def _gate_live(args: argparse.Namespace) -> int:
+    """Measure serial vs shm ingest throughput here and now; gate on it."""
+    import numpy as np
+
+    from ..sketches import HashSketchSchema
+    from .shards import ShardedIngestor
+
+    worker_counts = [int(w) for w in args.workers_list.split(",") if w.strip()]
+    schema = HashSketchSchema(256, 7, args.domain, seed=args.seed)
+    values, weights = _seeded_stream(args.domain, args.elements, args.seed)
+    splits = np.array_split(
+        np.arange(values.size), max(1, values.size // args.batch)
+    )
+
+    def best_rate(workers: int, mode: str) -> float:
+        best = float("inf")
+        for _ in range(args.repeats):
+            with ShardedIngestor(schema, workers=workers, mode=mode) as ingestor:
+                start = time.perf_counter()
+                for batch in splits:
+                    ingestor.ingest(values[batch], weights[batch])
+                ingestor.merged()
+                best = min(best, time.perf_counter() - start)
+        return args.elements / best
+
+    serial_rate = best_rate(1, "serial")
+    print(f"elements={args.elements} batch={args.batch} domain={args.domain}")
+    print(f"{'workers':>8} {'mode':>8} {'updates/sec':>14} {'speedup':>8}")
+    print(f"{1:>8} {'serial':>8} {serial_rate:>14,.0f} {'1.00x':>8}")
+    failures = 0
+    for workers in worker_counts:
+        shm_rate = best_rate(workers, "shm")
+        verdict = "ok" if shm_rate > serial_rate else "FAIL"
+        print(
+            f"{workers:>8} {'shm':>8} {shm_rate:>14,.0f} "
+            f"{shm_rate / serial_rate:>7.2f}x {verdict}"
+        )
+        if shm_rate <= serial_rate:
+            failures += 1
+    if failures:
+        print(f"scaling-gate FAILED: {failures} worker count(s) did not beat serial")
+        return 1
+    print(f"scaling-gate OK: shm beat serial at {worker_counts} worker(s)")
+    return 0
+
+
+def _scaling_gate(args: argparse.Namespace) -> int:
+    if args.bench_json:
+        return _gate_from_file(args)
+    return _gate_live(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.parallel``."""
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "selfcheck":
             return _selfcheck(args)
+        if args.command == "scaling-gate":
+            return _scaling_gate(args)
         return _bench(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

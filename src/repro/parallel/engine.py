@@ -41,7 +41,7 @@ class ParallelStreamEngine(StreamEngine):
     workers:
         Shards (and executor parallelism) per registered stream.
     mode:
-        ``"serial"`` | ``"thread"`` | ``"process"`` — the
+        ``"serial"`` | ``"thread"`` | ``"process"`` | ``"shm"`` — the
         :class:`~repro.parallel.ShardedIngestor` execution strategy.
 
     Use as a context manager (or call :meth:`close`) when running
@@ -114,10 +114,12 @@ class ParallelStreamEngine(StreamEngine):
         Lazy underneath: streams with no new batches since their last
         merge cost nothing (dirty-flag caching in the ingestor).
 
-        In ``"process"`` mode the merge also surfaces each worker
-        process's ingest vitals — counters its own (process-local,
-        disabled) singletons would have discarded — into this process's
-        registry as ``parallel.shard.<N>.worker.*``.
+        In the process-backed modes (``"process"`` / ``"shm"``) the
+        merge also surfaces each worker process's ingest vitals —
+        counters its own (process-local, disabled) singletons would have
+        discarded — into this process's registry as
+        ``parallel.shard.<N>.worker.*``; the shm strategy carries them
+        on the flush ack, no JSON channel involved.
         """
         for name, ingestor in self._ingestors.items():
             self._streams[name].synopsis = ingestor.merged()

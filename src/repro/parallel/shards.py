@@ -9,16 +9,25 @@ intra-process parallelism).
 
 :class:`ShardedIngestor` owns N shard synopses plus an execution strategy:
 
-* ``"serial"`` — no executor; one shard, plain ``update_bulk`` (the
+* ``"serial"`` — no executor; apply each sub-batch inline (the
   parallelism-off reference path, overhead-free by construction);
 * ``"thread"`` — a persistent :class:`concurrent.futures.ThreadPoolExecutor`;
   shard updates run concurrently in-process (NumPy kernels release the
   GIL for parts of the work);
-* ``"process"`` — one single-worker :class:`concurrent.futures.ProcessPoolExecutor`
-  *per shard*, so each shard's batches always land in the same process.
+* ``"process"`` — one persistent worker process per shard, fed by a
+  bounded queue (:class:`~repro.parallel.pool.PersistentWorkerPool`).
   Workers receive a JSON schema spec once (schema-only construction —
   seeded randomness rebuilds identical hash families), accumulate their
-  shard sketch locally, and ship counters back only at flush time.
+  shard sketch locally, and ship counters back as serialised state at
+  flush time;
+* ``"shm"`` — the same persistent pool, but each worker scatter-adds
+  into a per-shard ``multiprocessing.shared_memory`` segment the parent
+  has mapped too, so flush ships no counter state at all (zero-copy
+  merge; see :mod:`repro.parallel.shm`).
+
+``"serial"`` and ``"thread"`` ingest synchronously; the process-backed
+modes pipeline batches through bounded queues and surface worker
+failures at the next flush/merge barrier.
 
 Batches are partitioned by a deterministic multiplicative hash of the
 value, so a given value always lands in the same shard regardless of
@@ -30,7 +39,8 @@ bit-identical to serial ingestion.
 from __future__ import annotations
 
 import json
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+import traceback
+from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import nullcontext
 from typing import Any, Protocol, Sequence
 
@@ -46,11 +56,12 @@ from ..sketches.serialize import (
     sketch_state,
 )
 from ..trace import TRACER as _TRACER
+from .pool import PersistentWorkerPool
 
 __all__ = ["INGEST_MODES", "ShardedIngestor", "partition_batch"]
 
 #: Execution strategies :class:`ShardedIngestor` supports.
-INGEST_MODES = ("serial", "thread", "process")
+INGEST_MODES = ("serial", "thread", "process", "shm")
 
 # Fibonacci-hash multiplier (2**64 / phi): spreads consecutive values
 # uniformly across shards while keeping the value -> shard map pure.
@@ -98,44 +109,63 @@ def partition_batch(
 
 # -- process-mode worker side --------------------------------------------------
 #
-# These run inside the shard's dedicated worker process.  The accumulated
-# shard sketch lives in module state keyed by its schema spec; because
-# each ShardedIngestor gives every shard its own single-process executor,
-# one key sees every batch of exactly one shard.
-
-_WORKER_SKETCHES: dict[str, AnySketch] = {}
-
-# Per-process ingest vitals the worker's own (disabled, process-local)
-# observability singletons would otherwise discard.  Shipped to the
-# parent at flush time alongside the sketch state, where the engine
-# surfaces them as ``parallel.shard.N.*`` counters (repro.federate's
-# answer to the process-local-singleton caveat).
-_WORKER_STATS: dict[str, dict[str, float]] = {}
+# Runs inside the shard's persistent worker process.  All state lives in
+# locals of the worker loop — no module-level accumulators — and the
+# pool's shard <-> worker affinity guarantees one loop sees every batch
+# of exactly one shard.  Per-process ingest vitals (the counters the
+# worker's own disabled, process-local observability singletons would
+# discard) ride the collect reply and resurface in the parent as
+# ``parallel.shard.N.*`` metrics (repro.federate's answer to the
+# process-local-singleton caveat).
 
 
-def _worker_ingest(
-    spec_json: str, values: np.ndarray, weights: np.ndarray | None
-) -> None:
-    """Fold one sub-batch into this process's local shard sketch."""
-    sketch = _WORKER_SKETCHES.get(spec_json)
-    if sketch is None:
-        sketch = sketch_from_spec(json.loads(spec_json))
-        _WORKER_SKETCHES[spec_json] = sketch  # repro: noqa[R10] -- per-process worker-local accumulator; each key sees exactly one shard's batches
-    sketch.update_bulk(values, weights)
-    stats = _WORKER_STATS.get(spec_json)
-    if stats is None:
-        stats = _WORKER_STATS[spec_json] = {"worker.batches": 0.0, "worker.elements": 0.0}  # repro: noqa[R10] -- same per-process worker-local accumulator pattern as the sketch above
-    stats["worker.batches"] += 1.0
-    stats["worker.elements"] += float(values.size)
+def _worker_main_json(tasks, replies, config: dict) -> None:
+    """Persistent ``"process"``-mode worker: accumulate one shard locally.
 
-
-def _worker_collect(
-    spec_json: str,
-) -> tuple[dict[str, Any] | None, dict[str, float]]:
-    """Return (and clear) this process's shard counters and ingest stats."""
-    sketch = _WORKER_SKETCHES.pop(spec_json, None)  # repro: noqa[R10] -- drains this process's own shard at the flush seam itself
-    stats = _WORKER_STATS.pop(spec_json, {})  # repro: noqa[R10] -- drained with the sketch at the same flush seam
-    return (None if sketch is None else sketch_state(sketch)), stats
+    Messages: ``("batch", values, weights)`` fire-and-forget;
+    ``("collect",)`` replies ``(sketch_state | None, stats)`` and clears
+    the local accumulator; ``("reset",)`` just clears; ``("stop",)``
+    exits.  A failed batch parks its traceback and reports it at the
+    next barrier (the pool's pipelined error model).
+    """
+    spec = json.loads(config["spec_json"])
+    sketch: AnySketch | None = None
+    stats = {"worker.batches": 0.0, "worker.elements": 0.0}
+    failure: str | None = None
+    while True:
+        message = tasks.get()
+        kind = message[0]
+        if kind == "stop":
+            replies.put(("ok", None))
+            return
+        if kind == "batch":
+            if failure is not None:
+                continue  # park until the next barrier reports it
+            try:
+                if sketch is None:
+                    sketch = sketch_from_spec(spec)
+                sketch.update_bulk(message[1], message[2])
+                stats["worker.batches"] += 1.0
+                stats["worker.elements"] += float(message[1].size)
+            except Exception:
+                failure = traceback.format_exc()
+            continue
+        # Barrier messages below always get exactly one reply.
+        if failure is not None:
+            replies.put(("error", failure))
+            failure = None
+            continue
+        if kind == "collect":
+            state = None if sketch is None else sketch_state(sketch)
+            replies.put(("ok", (state, stats)))
+            sketch = None
+            stats = {"worker.batches": 0.0, "worker.elements": 0.0}
+        elif kind == "reset":
+            sketch = None
+            stats = {"worker.batches": 0.0, "worker.elements": 0.0}
+            replies.put(("ok", None))
+        else:
+            replies.put(("error", f"unknown message kind {kind!r}"))
 
 
 # -- execution strategies ------------------------------------------------------
@@ -158,13 +188,18 @@ class _SerialStrategy:
         """Nothing pending: shards are always current."""
         return shards
 
+    def reset(self, schema: "_SchemaLike", shards: list[AnySketch]) -> list[AnySketch]:
+        """Fresh shards; there is no worker-side state to discard."""
+        return [schema.create_sketch() for _ in shards]
+
     def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
         """Inline ingestion records into the parent's own singletons —
         there is no foreign-process state to surface."""
         return []
 
-    def close(self) -> None:
+    def close(self, shards: list[AnySketch]) -> list[AnySketch]:
         """Nothing to shut down."""
+        return shards
 
 
 class _ThreadStrategy:
@@ -192,70 +227,77 @@ class _ThreadStrategy:
         """Every batch was awaited at ingest time: shards are current."""
         return shards
 
+    def reset(self, schema: "_SchemaLike", shards: list[AnySketch]) -> list[AnySketch]:
+        """Fresh shards; threads hold no state between batches."""
+        return [schema.create_sketch() for _ in shards]
+
     def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
         """Threads share the parent's singletons — nothing to surface."""
         return []
 
-    def close(self) -> None:
+    def close(self, shards: list[AnySketch]) -> list[AnySketch]:
         """Shut the pool down (idempotent)."""
         self._executor.shutdown(wait=True)
+        return shards
 
 
 class _ProcessStrategy:
-    """One single-worker process pool per shard (shard/process affinity).
+    """One shared persistent pool; worker ``i`` accumulates shard ``i``.
 
     The parent's shard sketches stay empty until :meth:`flush`, which
-    collects each worker's accumulated counters and merges them in.
+    collects each worker's accumulated counters (as serialised state —
+    the JSON channel the shm strategy eliminates) and merges them in.
+    Kept as the portable fallback where ``/dev/shm`` segments are
+    unavailable or domains make the dense accumulator unattractive.
     """
 
     def __init__(self, workers: int, spec_json: str) -> None:
-        self._spec_json = spec_json
-        self._executors: list[Executor | None] = [None] * workers
+        self._pool = PersistentWorkerPool(
+            workers, _worker_main_json, [{"spec_json": spec_json}] * workers
+        )
         # shard -> ingest stats collected from the shard's worker process
         # at flush time, held until the engine drains them.
         self._pending_stats: dict[int, dict[str, float]] = {}
-
-    def _executor_for(self, shard: int) -> Executor:
-        executor = self._executors[shard]
-        if executor is None:
-            executor = ProcessPoolExecutor(max_workers=1)
-            self._executors[shard] = executor
-        return executor
+        self._strategy_closed = False
 
     def ingest(
         self,
         shards: list[AnySketch],
         parts: Sequence[tuple[np.ndarray, np.ndarray | None] | None],
     ) -> None:
-        """Ship each shard's sub-batch to its dedicated worker process."""
-        futures = [
-            self._executor_for(i).submit(
-                _worker_ingest, self._spec_json, part[0], part[1]
-            )
-            for i, part in enumerate(parts)
-            if part is not None
-        ]
-        _collect_results(futures)
+        """Enqueue each shard's sub-batch on its worker (pipelined).
+
+        Returns as soon as every sub-batch is queued; worker failures
+        surface at the next flush barrier.
+        """
+        for worker, part in enumerate(parts):
+            if part is not None:
+                self._pool.submit(worker, ("batch", part[0], part[1]))
 
     def flush(self, shards: list[AnySketch]) -> list[AnySketch]:
-        """Pull accumulated counters out of every live worker and merge.
+        """Pull accumulated counters out of every worker and merge.
 
         Each worker also returns its ingest stats; they accumulate in
         ``_pending_stats`` until :meth:`drain_worker_telemetry` hands
         them to the engine (flush can run several times between drains).
         """
+        if self._strategy_closed:
+            return shards
         current = list(shards)
-        for i, executor in enumerate(self._executors):
-            if executor is None:
-                continue
-            state, stats = executor.submit(_worker_collect, self._spec_json).result()
+        for i, (state, stats) in enumerate(self._pool.barrier(("collect",))):
             if state is not None:
                 current[i] = merge_sketch_state(current[i], state)
-            if stats:
+            if stats["worker.batches"]:
                 held = self._pending_stats.setdefault(i, {})
                 for key, value in stats.items():
                     held[key] = held.get(key, 0.0) + value
         return current
+
+    def reset(self, schema: "_SchemaLike", shards: list[AnySketch]) -> list[AnySketch]:
+        """Discard worker-side accumulators and hand back fresh shards."""
+        if not self._strategy_closed:
+            self._pool.barrier(("reset",))
+        return [schema.create_sketch() for _ in shards]
 
     def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
         """Hand over (and clear) per-shard worker stats gathered at flush."""
@@ -263,12 +305,12 @@ class _ProcessStrategy:
         self._pending_stats = {}
         return drained
 
-    def close(self) -> None:
-        """Shut every per-shard pool down (idempotent)."""
-        for executor in self._executors:
-            if executor is not None:
-                executor.shutdown(wait=True)
-        self._executors = [None] * len(self._executors)
+    def close(self, shards: list[AnySketch]) -> list[AnySketch]:
+        """Stop the pooled workers (idempotent)."""
+        if not self._strategy_closed:
+            self._strategy_closed = True
+            self._pool.close()
+        return shards
 
 
 def _collect_results(futures: list["Future[None]"]) -> None:
@@ -300,8 +342,8 @@ class ShardedIngestor:
         Number of shards (= executor parallelism).  ``workers=1`` always
         uses the serial no-executor path regardless of ``mode``.
     mode:
-        ``"serial"`` | ``"thread"`` | ``"process"`` — see the module
-        docstring for the trade-offs.
+        ``"serial"`` | ``"thread"`` | ``"process"`` | ``"shm"`` — see
+        the module docstring for the trade-offs.
 
     The merged synopsis is computed lazily (:meth:`merged`) and cached
     behind a dirty flag, so interleaving ingestion and queries only pays
@@ -326,15 +368,20 @@ class ShardedIngestor:
         self._strategy = self._make_strategy()
         self._merged: AnySketch | None = None
         self._dirty = False
+        self._closed = False
         self._batches = 0
         self._elements = 0
 
-    def _make_strategy(self) -> "_SerialStrategy | _ThreadStrategy | _ProcessStrategy":
+    def _make_strategy(self) -> Any:
         if self._workers == 1 or self._mode == "serial":
             return _SerialStrategy()
         if self._mode == "thread":
             return _ThreadStrategy(self._workers)
         spec_json = json.dumps(sketch_spec(self._shards[0]), sort_keys=True)
+        if self._mode == "shm":
+            from .shm import _SharedMemoryStrategy
+
+            return _SharedMemoryStrategy(self._workers, self._shards, spec_json)
         return _ProcessStrategy(self._workers, spec_json)
 
     @property
@@ -362,11 +409,14 @@ class ShardedIngestor:
     ) -> None:
         """Partition one batch across the shards and apply it.
 
-        Synchronous: returns once every shard has folded its sub-batch in
-        (worker-side for ``"process"`` mode).  Weight validation follows
-        ``update_bulk``; a bad value aborts the offending shard's whole
-        sub-batch.
+        ``"serial"``/``"thread"`` apply sub-batches synchronously; the
+        process-backed modes pipeline them through bounded queues, so a
+        bad value aborts the offending shard's whole sub-batch at the
+        next flush/merge barrier rather than here.  Weight validation
+        follows ``update_bulk``.
         """
+        if self._closed:
+            raise RuntimeError("ShardedIngestor is closed")
         values = np.asarray(values, dtype=np.int64)
         if weights is not None:
             weights = np.asarray(weights, dtype=np.float64)
@@ -423,32 +473,39 @@ class ShardedIngestor:
     def drain_worker_telemetry(self) -> list[tuple[int, dict[str, float]]]:
         """Per-shard ingest stats collected from worker processes.
 
-        Non-empty only in ``"process"`` mode after a flush (``merged()``
-        / ``reset()`` / ``close()``): each entry is ``(shard_index,
-        {"worker.batches": ..., "worker.elements": ...})`` — the vitals
-        the worker's process-local singletons couldn't publish.  Draining
-        clears the pending stats, so each call reports new activity only.
+        Non-empty only in the process-backed modes (``"process"`` /
+        ``"shm"``) after a flush (``merged()`` / ``reset()`` /
+        ``close()``): each entry is ``(shard_index, {"worker.batches":
+        ..., "worker.elements": ...})`` — the vitals the worker's
+        process-local singletons couldn't publish.  Draining clears the
+        pending stats, so each call reports new activity only.
         """
         return self._strategy.drain_worker_telemetry()
 
     def reset(self) -> None:
         """Drop all accumulated state (fresh shards, empty workers)."""
-        self._shards = self._strategy.flush(self._shards)  # drain workers
-        self._shards = [self._schema.create_sketch() for _ in range(self._workers)]
+        self._shards = self._strategy.reset(self._schema, self._shards)
         self._merged = None
         self._dirty = False
         self._batches = 0
         self._elements = 0
 
     def close(self) -> None:
-        """Shut down executor resources (idempotent).
+        """Shut down executor resources (idempotent, exception-safe).
 
         Pending worker-side state is folded into the parent-side shards
-        first, so :meth:`merged` keeps working after close; further
-        :meth:`ingest` calls on executor-backed modes are an error.
+        first, so :meth:`merged` keeps working after close — even if the
+        flush itself fails, the strategy is still torn down (workers
+        stopped, shared-memory segments unlinked).  Further
+        :meth:`ingest` calls are an error.
         """
-        self._shards = self._strategy.flush(self._shards)
-        self._strategy.close()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shards = self._strategy.flush(self._shards)
+        finally:
+            self._shards = self._strategy.close(self._shards)
 
     def __enter__(self) -> "ShardedIngestor":
         return self

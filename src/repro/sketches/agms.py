@@ -191,6 +191,40 @@ class AGMSSketch(StreamSynopsis):
             flat += signs @ weights[start:stop]
         self._absolute_mass += float(np.abs(weights).sum())
 
+    def update_coalesced(
+        self,
+        values: np.ndarray,
+        masses: np.ndarray,
+        observed_mass: float | None = None,
+    ) -> None:
+        """Ingest a pre-coalesced batch: distinct ``values``, summed ``masses``.
+
+        Mirrors :meth:`HashSketch.update_coalesced` for callers that
+        coalesce once and feed many sketches (the shared-memory shard
+        workers).  ``observed_mass`` defaults to ``sum(|masses|)``;
+        passing the original batch's ``sum(|weight|)`` keeps
+        :attr:`absolute_mass` identical to element-wise ingestion.
+        Records no metrics or spans — the caller owns instrumentation.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        masses = np.asarray(masses, dtype=np.float64)
+        if masses.shape != values.shape:
+            raise ParameterError("masses must have the same shape as values")
+        if values.size == 0:
+            return
+        self._check_value(int(values.min()))
+        self._check_value(int(values.max()))
+        flat = self._atomic.reshape(-1)
+        chunk = max(1, _BULK_CHUNK_ELEMENTS // self._schema.signs.count)
+        for start in range(0, values.size, chunk):
+            stop = start + chunk
+            signs = self._schema.signs.signs(values[start:stop])
+            flat += signs @ masses[start:stop]
+        self._absolute_mass += (
+            float(np.abs(masses).sum()) if observed_mass is None
+            else float(observed_mass)
+        )
+
     def ingest_frequency_vector(self, frequencies: "FrequencyVector") -> None:
         """Absorb a whole frequency vector.
 
@@ -268,6 +302,45 @@ class AGMSSketch(StreamSynopsis):
         result._atomic = self._atomic.copy()
         result._absolute_mass = self._absolute_mass
         return result
+
+    # -- external counter storage (shared-memory seam) --------------------------
+
+    def counters_view(self) -> list[np.ndarray]:
+        """Writable view of the raw atomic-sketch block (a single entry)."""
+        return [self._atomic]
+
+    def attach_counters(self, buffers: list[np.ndarray]) -> None:
+        """Re-home the atomic sketches into a caller-provided buffer.
+
+        See :meth:`HashSketch.attach_counters`: copies current state in
+        and rebinds, preserving the projection bit-for-bit.
+        """
+        if len(buffers) != 1:
+            raise ParameterError(
+                f"AGMSSketch.attach_counters takes exactly 1 buffer, "
+                f"got {len(buffers)}"
+            )
+        buffer = buffers[0]
+        if buffer.shape != self._atomic.shape or buffer.dtype != np.float64:
+            raise ParameterError(
+                f"attach_counters needs a float64 buffer of shape "
+                f"{self._atomic.shape}, got {buffer.dtype} {buffer.shape}"
+            )
+        buffer[...] = self._atomic
+        self._atomic = buffer
+
+    def tracked_masses(self) -> list[float]:
+        """Tracked ``sum |weight|`` per counter block (a single entry)."""
+        return [self._absolute_mass]
+
+    def set_tracked_masses(self, masses: list[float]) -> None:
+        """Install the tracked mass captured by :meth:`tracked_masses`."""
+        if len(masses) != 1:
+            raise ParameterError(
+                f"AGMSSketch.set_tracked_masses takes exactly 1 mass, "
+                f"got {len(masses)}"
+            )
+        self._absolute_mass = float(masses[0])
 
     # -- internals ---------------------------------------------------------------
 

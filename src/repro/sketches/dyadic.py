@@ -203,6 +203,38 @@ class DyadicHashSketch(StreamSynopsis):
                     "sketch.update.deletions", cache.num_deletions * num_levels
                 )
 
+    def update_coalesced(
+        self,
+        values: np.ndarray,
+        masses: np.ndarray,
+        observed_mass: float | None = None,
+    ) -> None:
+        """Ingest a pre-coalesced batch into every level of the hierarchy.
+
+        Mirrors :meth:`HashSketch.update_coalesced`: ``values`` are
+        distinct, ``masses`` their summed weights, and ``observed_mass``
+        is ``sum(|weight|)`` over the original batch (default:
+        ``sum(|masses|)``), keeping :attr:`absolute_mass` identical to
+        element-wise ingestion when coalescing cancelled opposite-signed
+        weights.  Records no metrics or spans — the caller owns
+        instrumentation (the shared-memory shard workers use this to
+        apply a whole accumulated stream prefix at flush time).
+        """
+        values = np.asarray(values, dtype=np.int64)
+        masses = np.asarray(masses, dtype=np.float64)
+        if masses.shape != values.shape:
+            raise ParameterError("masses must have the same shape as values")
+        if values.size == 0:
+            return
+        cache = BulkHashCache(values, masses)
+        observed = (
+            cache.total_absolute_mass if observed_mass is None
+            else float(observed_mass)
+        )
+        for level, sketch in enumerate(self._levels):
+            level_values, level_masses = cache.level(level)
+            sketch.update_coalesced(level_values, level_masses, observed)
+
     def size_in_counters(self) -> int:
         return sum(s.size_in_counters() for s in self._levels)
 
@@ -321,6 +353,46 @@ class DyadicHashSketch(StreamSynopsis):
         result = DyadicHashSketch(self._schema)
         result._levels = [s.copy() for s in self._levels]
         return result
+
+    # -- external counter storage (shared-memory seam) --------------------------
+
+    def counters_view(self) -> list[np.ndarray]:
+        """Writable views of every level's counter block, level order."""
+        return [
+            block for sketch in self._levels for block in sketch.counters_view()
+        ]
+
+    def attach_counters(self, buffers: list[np.ndarray]) -> None:
+        """Re-home every level's counters into caller-provided buffers.
+
+        ``buffers`` must match :meth:`counters_view` in count and shapes
+        (one block per level); see :meth:`HashSketch.attach_counters`.
+        """
+        if len(buffers) != len(self._levels):
+            raise ParameterError(
+                f"DyadicHashSketch.attach_counters takes "
+                f"{len(self._levels)} buffers (one per level), "
+                f"got {len(buffers)}"
+            )
+        for sketch, buffer in zip(self._levels, buffers):
+            sketch.attach_counters([buffer])
+
+    def tracked_masses(self) -> list[float]:
+        """Tracked ``sum |weight|`` per counter block (one per level)."""
+        return [
+            mass for sketch in self._levels for mass in sketch.tracked_masses()
+        ]
+
+    def set_tracked_masses(self, masses: list[float]) -> None:
+        """Install per-level tracked masses from :meth:`tracked_masses`."""
+        if len(masses) != len(self._levels):
+            raise ParameterError(
+                f"DyadicHashSketch.set_tracked_masses takes "
+                f"{len(self._levels)} masses (one per level), "
+                f"got {len(masses)}"
+            )
+        for sketch, mass in zip(self._levels, masses):
+            sketch.set_tracked_masses([mass])
 
     def _check_compatible(self, other: "DyadicHashSketch") -> None:
         if not isinstance(other, DyadicHashSketch):

@@ -416,6 +416,55 @@ class HashSketch(StreamSynopsis):
             else float(observed_mass)
         )
 
+    # -- external counter storage (shared-memory seam) --------------------------
+
+    def counters_view(self) -> list[np.ndarray]:
+        """Writable views of the raw counter blocks backing this sketch.
+
+        The shared-memory ingest plane uses this to size segments and to
+        sum shard counters without copying.  Counter *mutations* must
+        still flow through the sanctioned linear primitives (rule R9);
+        this seam only exposes the storage.
+        """
+        return [self._counters]
+
+    def attach_counters(self, buffers: list[np.ndarray]) -> None:
+        """Re-home the counters into caller-provided float64 buffers.
+
+        Copies the current counter state into ``buffers`` and rebinds the
+        sketch's storage to them, so the sketch can live inside e.g. a
+        ``multiprocessing.shared_memory`` segment.  Every update/merge
+        primitive mutates in place afterwards; the projection itself is
+        unchanged, so linearity and all estimates are preserved
+        bit-for-bit.
+        """
+        if len(buffers) != 1:
+            raise ParameterError(
+                f"HashSketch.attach_counters takes exactly 1 buffer, "
+                f"got {len(buffers)}"
+            )
+        buffer = buffers[0]
+        if buffer.shape != self._counters.shape or buffer.dtype != np.float64:
+            raise ParameterError(
+                f"attach_counters needs a float64 buffer of shape "
+                f"{self._counters.shape}, got {buffer.dtype} {buffer.shape}"
+            )
+        buffer[...] = self._counters
+        self._counters = buffer
+
+    def tracked_masses(self) -> list[float]:
+        """Tracked ``sum |weight|`` per counter block (a single entry)."""
+        return [self._absolute_mass]
+
+    def set_tracked_masses(self, masses: list[float]) -> None:
+        """Install tracked masses captured by :meth:`tracked_masses`."""
+        if len(masses) != 1:
+            raise ParameterError(
+                f"HashSketch.set_tracked_masses takes exactly 1 mass, "
+                f"got {len(masses)}"
+            )
+        self._absolute_mass = float(masses[0])
+
     # -- internals -------------------------------------------------------------------
 
     def _apply_point_masses(

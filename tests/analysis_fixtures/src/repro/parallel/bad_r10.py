@@ -1,4 +1,4 @@
-"""Fixture: worker-plane writes bypassing the flush/merge seam (R10 x2)."""
+"""Fixture: worker-plane writes bypassing the flush/merge seam (R10 x3)."""
 
 _PENDING: dict[str, int] = {}
 
@@ -25,3 +25,8 @@ class _EagerStrategy:
 
 def _record(parts) -> None:
     _PENDING["batches"] = len(parts)
+
+
+def _worker_scrub(views, shard) -> None:
+    # Reach across the per-shard view collection from the worker plane.
+    views[shard + 1][:] = 0.0

@@ -36,3 +36,8 @@ def _apply(shard, part) -> int:
 
 def _summarise(applied) -> int:
     return sum(applied)
+
+
+def _worker_zero(block) -> None:
+    # A worker may write the single view it owns — no collection indexing.
+    block[:] = 0.0

@@ -169,6 +169,58 @@ def test_enabled_update_bulk_overhead_is_batch_level(rng):
     )
 
 
+def test_shm_single_worker_ingest_stays_near_bare_update_bulk(rng):
+    """``mode="shm"`` at one worker must cost ~nothing over bare
+    ``update_bulk``: the ingestor short-circuits to the serial
+    no-executor path, so no segment, no pool, no dense accumulator —
+    just partitioning's trivial 1-shard fast path plus bookkeeping."""
+    from repro.parallel import ShardedIngestor
+
+    schema = HashSketchSchema(width=256, depth=7, domain_size=1 << 16, seed=1)
+    values = rng.integers(0, 1 << 16, size=N_ELEMENTS).astype(np.int64)
+
+    kernel_sketch = schema.create_sketch()
+
+    def kernel():
+        kernel_sketch.update_bulk(values)
+
+    with ShardedIngestor(schema, workers=1, mode="shm") as ingestor:
+        def instrumented():
+            ingestor.ingest(values)
+
+        kernel()
+        instrumented()
+        kernel_time = _best_of(REPEATS, kernel)
+        instrumented_time = _best_of(REPEATS, instrumented)
+
+    budget = kernel_time * MAX_FACTOR + SLACK_SECONDS
+    assert instrumented_time <= budget, (
+        f"shm@1 ingest took {instrumented_time * 1e3:.2f}ms vs bare "
+        f"update_bulk {kernel_time * 1e3:.2f}ms (budget {budget * 1e3:.2f}ms) "
+        "— the 1-worker short-circuit regressed"
+    )
+
+
+def test_shm_worker_telemetry_rides_the_flush_ack(rng):
+    """``drain_worker_telemetry`` must report worker vitals in shm mode
+    even though no JSON state channel exists: the stats ride the flush
+    barrier's ack tuple alongside the tracked masses."""
+    from repro.parallel import ShardedIngestor
+
+    schema = HashSketchSchema(width=128, depth=5, domain_size=1 << 10, seed=1)
+    n = 4_000
+    values = rng.integers(0, 1 << 10, size=n).astype(np.int64)
+    with ShardedIngestor(schema, workers=2, mode="shm") as ingestor:
+        for chunk in np.array_split(values, 4):
+            ingestor.ingest(chunk)
+        ingestor.merged()  # the flush that carries the stats
+        telemetry = dict(ingestor.drain_worker_telemetry())
+        assert ingestor.drain_worker_telemetry() == []  # drained
+    assert set(telemetry) == {0, 1}
+    assert sum(stats["worker.elements"] for stats in telemetry.values()) == float(n)
+    assert all(stats["worker.batches"] >= 1.0 for stats in telemetry.values())
+
+
 def test_disabled_telemetry_site_close_round_stays_free(rng):
     """A telemetry-enabled site with every singleton off must close
     rounds at the plain site's speed: the federation hook is one

@@ -109,7 +109,7 @@ class TestShardedIngestorExactness:
                 ingestor.ingest(values, weights)
             assert states_equal(ingestor.merged(), serial)
 
-    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    @pytest.mark.parametrize("mode", INGEST_MODES)
     def test_dyadic_sketch_matches_serial(self, mode):
         schema = DyadicSketchSchema(64, 5, DOMAIN, seed=2)
         serial = schema.create_sketch()
@@ -312,7 +312,7 @@ class TestAdversarialMetamorphic:
                 in_order.synopsis_for(name), permuted.synopsis_for(name)
             )
 
-    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process", "shm"])
     def test_rechunking_adversarial_stream_is_exact_per_mode(self, mode):
         instance = self._instance("delete_churn", self.CHURN_PARAMS)
         values = np.concatenate(
@@ -411,12 +411,13 @@ class TestWorkerTelemetry:
             engine.process_bulk("f", chunk, None)
         return n
 
-    def test_process_mode_flush_surfaces_worker_counters(self, rng):
+    @pytest.mark.parametrize("mode", ["process", "shm"])
+    def test_process_mode_flush_surfaces_worker_counters(self, mode, rng):
         from repro.obs import METRICS
 
         METRICS.enable()
         with ParallelStreamEngine(
-            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode="process"
+            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode=mode
         ) as engine:
             n = self._ingest(engine, rng)
             engine.flush()
@@ -435,11 +436,12 @@ class TestWorkerTelemetry:
         ]
         assert sum(batches) >= 1.0
 
-    def test_flush_drains_even_while_disabled(self, rng):
+    @pytest.mark.parametrize("mode", ["process", "shm"])
+    def test_flush_drains_even_while_disabled(self, mode, rng):
         from repro.obs import METRICS
 
         with ParallelStreamEngine(
-            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode="process"
+            DOMAIN, PARAMS, synopsis="hash", seed=5, workers=2, mode=mode
         ) as engine:
             self._ingest(engine, rng)
             engine.flush()  # disabled: stats must be dropped, not queued
@@ -468,3 +470,131 @@ class TestWorkerTelemetry:
             engine.flush()
         counters = METRICS.snapshot()["counters"]
         assert not any(name.startswith("parallel.shard.") for name in counters)
+
+
+class TestSharedMemoryLifecycle:
+    """No leaked ``/dev/shm`` segments, whatever path tears the shm mode down.
+
+    Segment names are ``repro_shm_*``; :func:`active_segment_names`
+    enumerates the live ones, so every test can assert the before/after
+    set difference directly.
+    """
+
+    @staticmethod
+    def _ingestor(workers=2):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        return ShardedIngestor(schema, workers=workers, mode="shm")
+
+    def test_segments_live_during_ingest_and_unlinked_on_close(self):
+        from repro.parallel.shm import SEGMENT_PREFIX, active_segment_names
+
+        before = set(active_segment_names())
+        ingestor = self._ingestor()
+        created = set(active_segment_names()) - before
+        assert len(created) == 2
+        assert all(name.startswith(SEGMENT_PREFIX) for name in created)
+        values, weights = seeded_batches(n=300, batches=1)[0]
+        ingestor.ingest(values, weights)
+        ingestor.close()
+        assert not (set(active_segment_names()) & created)
+
+    def test_double_close_is_safe(self):
+        from repro.parallel.shm import active_segment_names
+
+        before = set(active_segment_names())
+        ingestor = self._ingestor()
+        values, weights = seeded_batches(n=200, batches=1)[0]
+        ingestor.ingest(values, weights)
+        ingestor.close()
+        ingestor.close()
+        assert set(active_segment_names()) == before
+
+    def test_merged_works_and_is_exact_after_close(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        values, weights = seeded_batches(n=400, batches=1)[0]
+        serial = schema.create_sketch()
+        serial.update_bulk(values, weights)
+        ingestor = ShardedIngestor(schema, workers=2, mode="shm")
+        ingestor.ingest(values, weights)
+        ingestor.close()
+        assert states_equal(ingestor.merged(), serial)
+
+    def test_ingest_after_close_raises(self):
+        ingestor = self._ingestor()
+        values, weights = seeded_batches(n=100, batches=1)[0]
+        ingestor.close()
+        with pytest.raises(RuntimeError):
+            ingestor.ingest(values, weights)
+
+    def test_context_manager_exception_path_releases_segments(self):
+        from repro.parallel.shm import active_segment_names
+
+        before = set(active_segment_names())
+        with pytest.raises(KeyboardInterrupt):
+            with self._ingestor() as ingestor:
+                values, weights = seeded_batches(n=200, batches=1)[0]
+                ingestor.ingest(values, weights)
+                raise KeyboardInterrupt
+        assert set(active_segment_names()) == before
+
+    def test_worker_failure_surfaces_and_close_still_releases(self):
+        from repro.parallel.pool import WorkerError
+        from repro.parallel.shm import active_segment_names
+
+        before = set(active_segment_names())
+        ingestor = self._ingestor()
+        bad = np.asarray([DOMAIN + 17], dtype=np.int64)  # outside the domain
+        ingestor.ingest(bad)
+        with pytest.raises(WorkerError):
+            ingestor.merged()
+        ingestor.close()
+        assert set(active_segment_names()) == before
+
+    def test_reset_clears_state_and_ingestor_stays_usable(self):
+        schema = HashSketchSchema(64, 3, DOMAIN, seed=1)
+        values, weights = seeded_batches(n=500, batches=1)[0]
+        serial = schema.create_sketch()
+        serial.update_bulk(values, weights)
+        with ShardedIngestor(schema, workers=2, mode="shm") as ingestor:
+            ingestor.ingest(values, weights)
+            ingestor.reset()
+            assert states_equal(ingestor.merged(), schema.create_sketch())
+            ingestor.ingest(values, weights)
+            assert states_equal(ingestor.merged(), serial)
+
+    def test_interpreter_exit_without_close_leaks_nothing(self, tmp_path):
+        import subprocess
+        import sys
+
+        script = tmp_path / "leaker.py"
+        script.write_text(
+            "import numpy as np\n"
+            "from repro.parallel import ShardedIngestor\n"
+            "from repro.parallel.shm import active_segment_names\n"
+            "from repro.sketches.hash_sketch import HashSketchSchema\n"
+            "schema = HashSketchSchema(64, 3, 1 << 10, seed=1)\n"
+            "ingestor = ShardedIngestor(schema, workers=2, mode='shm')\n"
+            "ingestor.ingest(np.arange(64, dtype=np.int64))\n"
+            "ingestor.merged()\n"
+            "print(','.join(active_segment_names()))\n"
+            "# exit without close(): weakref.finalize must unlink at exit\n"
+        )
+        import os
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={**os.environ, "PYTHONPATH": str(repo_root / "src")},
+            cwd=str(repo_root),
+        )
+        assert result.returncode == 0, result.stderr
+        created = {name for name in result.stdout.strip().split(",") if name}
+        assert created, "the child must have had live segments"
+        from repro.parallel.shm import active_segment_names
+
+        assert not (set(active_segment_names()) & created)
+        assert "leaked shared_memory" not in result.stderr
